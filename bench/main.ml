@@ -1,0 +1,140 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (section 4) on the 10-program MiniF suite, and
+   times the optimizer configurations with Bechamel (one Test.make
+   group per table).
+
+   Usage:
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- table1     # just Table 1
+     dune exec bench/main.exe -- table2 | table3 | figures | canon | bech
+*)
+
+module E = Nascent_harness.Experiments
+module Report = Nascent_harness.Report
+module Figures = Nascent_harness.Figures
+module Config = Nascent_core.Config
+module B = Nascent_benchmarks.Suite
+
+let chars = lazy (E.characterize_all ())
+
+let run_table1 () = Report.table1 (Lazy.force chars)
+
+let run_table2 () =
+  let chars = Lazy.force chars in
+  Report.table2 chars (E.table2 chars)
+
+let run_table3 () =
+  let chars = Lazy.force chars in
+  Report.table3 chars (E.table3 chars)
+
+let run_canon () = Report.canon (E.canon_ablation (Lazy.force chars))
+
+let run_extensions () =
+  let chars = Lazy.force chars in
+  Report.extensions chars (E.extensions chars)
+
+(* --- Bechamel: one Test.make per table ------------------------------- *)
+
+let bech_tests () =
+  let open Bechamel in
+  let sources = List.map (fun b -> b.B.source) B.all in
+  let irs () = List.map Nascent_ir.Lower.of_source sources in
+  (* Table 1's measurement pipeline: characterize the suite
+     (lower + loop analysis + static counts; dynamic runs excluded to
+     keep the timer on compiler-side work). *)
+  let t_table1 =
+    Test.make ~name:"table1-characterize"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun ir ->
+               Nascent_ir.Program.iter_funcs
+                 (fun f -> ignore (Nascent_analysis.Loops.compute f))
+                 ir;
+               ignore (Nascent_ir.Program.static_counts ir))
+             (irs ())))
+  in
+  (* Table 2's dominant cost: one full optimizer run per scheme (PRX). *)
+  let t_table2 =
+    Test.make ~name:"table2-optimize-all-schemes"
+      (Staged.stage (fun () ->
+           let irs = irs () in
+           List.iter
+             (fun scheme ->
+               List.iter
+                 (fun ir ->
+                   ignore
+                     (Nascent_core.Optimizer.optimize
+                        ~config:(Config.make ~scheme ())
+                        ir))
+                 irs)
+             Config.all_schemes))
+  in
+  (* Table 3's extra cost: the primed variants (implications off). *)
+  let t_table3 =
+    Test.make ~name:"table3-optimize-impl-ablation"
+      (Staged.stage (fun () ->
+           let irs = irs () in
+           List.iter
+             (fun (scheme, impl) ->
+               List.iter
+                 (fun ir ->
+                   ignore
+                     (Nascent_core.Optimizer.optimize
+                        ~config:(Config.make ~scheme ~impl ())
+                        ir))
+                 irs)
+             [
+               (Config.NI, Nascent_checks.Universe.No_implications);
+               (Config.SE, Nascent_checks.Universe.No_implications);
+               (Config.LLS, Nascent_checks.Universe.Cross_family_only);
+             ]))
+  in
+  [ t_table1; t_table2; t_table3 ]
+
+let run_bech () =
+  let open Bechamel in
+  print_endline "";
+  print_endline "Bechamel timers (one Test.make per table):";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all
+             (Analyze.ols ~bootstrap:0 ~r_square:false
+                ~predictors:[| Measure.run |])
+             Toolkit.Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-36s %12.3f ms/run\n%!" name (est /. 1e6)
+          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        results)
+    (bech_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let what = match args with [] -> [ "all" ] | xs -> xs in
+  let run = function
+    | "table1" -> run_table1 ()
+    | "table2" -> run_table2 ()
+    | "table3" -> run_table3 ()
+    | "figures" -> Figures.all ()
+    | "canon" -> run_canon ()
+    | "extensions" -> run_extensions ()
+    | "bech" -> run_bech ()
+    | "all" ->
+        run_table1 ();
+        run_table2 ();
+        run_table3 ();
+        run_extensions ();
+        run_canon ();
+        Figures.all ();
+        run_bech ()
+    | other ->
+        Printf.eprintf "unknown target %s\n" other;
+        exit 1
+  in
+  List.iter run what

@@ -1,0 +1,189 @@
+(* nascentc — command-line driver for the MiniF range-check optimizer.
+
+   Subcommands:
+     check FILE        parse and type-check, print diagnostics
+     dump FILE         lower (and optionally optimize) then print the IR
+     run FILE          execute with the instrumented interpreter
+     stats FILE        compare all placement schemes on one program
+     bench NAME        run a built-in benchmark program by name
+*)
+
+module Ir = Nascent_ir
+module Core = Nascent_core
+module Config = Core.Config
+module Universe = Nascent_checks.Universe
+module Run = Nascent_interp.Run
+module Frontend = Nascent_frontend.Frontend
+module B = Nascent_benchmarks.Suite
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_source path =
+  if Sys.file_exists path then read_file path
+  else
+    match B.find path with
+    | Some b -> b.B.source
+    | None ->
+        Fmt.epr "nascentc: no such file or built-in benchmark: %s@." path;
+        exit 1
+
+(* Frontend and lowering failures raise; report them as diagnostics
+   rather than letting cmdliner dump a backtrace. *)
+let with_errors f =
+  try f () with
+  | Failure msg | Ir.Lower.Lower_error msg ->
+      Fmt.epr "nascentc: %s@." msg;
+      1
+
+(* --- common arguments ------------------------------------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"MiniF source file, or the name of a built-in benchmark (vortex, arc2d, ...).")
+
+let scheme_arg =
+  let parse s =
+    match Config.scheme_of_name s with
+    | Some sc -> Ok sc
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %s" s))
+  in
+  let print ppf s = Fmt.string ppf (Config.scheme_name s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.LLS
+    & info [ "s"; "scheme" ] ~docv:"SCHEME"
+        ~doc:"Placement scheme: NI, CS, LNI, SE, LI, LLS, ALL or MCM.")
+
+let kind_arg =
+  let parse = function
+    | "prx" | "PRX" -> Ok Config.PRX
+    | "inx" | "INX" -> Ok Config.INX
+    | s -> Error (`Msg (Printf.sprintf "unknown check kind %s" s))
+  in
+  let print ppf k = Fmt.string ppf (Config.kind_name k) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.PRX
+    & info [ "k"; "kind" ] ~docv:"KIND"
+        ~doc:"Check construction: PRX (program expressions) or INX (induction expressions).")
+
+let impl_arg =
+  let parse = function
+    | "all" -> Ok Universe.All_implications
+    | "none" -> Ok Universe.No_implications
+    | "cross" -> Ok Universe.Cross_family_only
+    | s -> Error (`Msg (Printf.sprintf "unknown implication mode %s" s))
+  in
+  let print ppf m = Fmt.string ppf (Universe.mode_name m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Universe.All_implications
+    & info [ "i"; "implications" ] ~docv:"MODE"
+        ~doc:"Check implication mode: all, cross (cross-family only) or none.")
+
+let naive_arg =
+  Arg.(value & flag & info [ "naive" ] ~doc:"Skip optimization (naive checking).")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int Run.default_fuel
+    & info [ "fuel" ] ~docv:"N" ~doc:"Interpreter step budget.")
+
+let config_term =
+  Term.(
+    const (fun scheme kind impl -> Config.make ~scheme ~kind ~impl ())
+    $ scheme_arg $ kind_arg $ impl_arg)
+
+(* --- commands ---------------------------------------------------------- *)
+
+let cmd_check =
+  let doc = "Parse and type-check a MiniF program." in
+  let run file =
+    with_errors @@ fun () ->
+    match Frontend.analyze (load_source file) with
+    | Ok (prog, _) ->
+        Fmt.pr "%s: OK (%d unit(s))@." file (List.length prog.Nascent_frontend.Ast.units);
+        0
+    | Error e ->
+        Fmt.epr "%a@." Frontend.pp_error e;
+        1
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
+
+let optimize_source src config ~naive =
+  let ir = Ir.Lower.of_source src in
+  if naive then (ir, None)
+  else
+    let opt, stats = Core.Optimizer.optimize ~config ir in
+    (opt, Some stats)
+
+let cmd_dump =
+  let doc = "Lower (and optimize) a program, then print its IR." in
+  let run file config naive =
+    with_errors @@ fun () ->
+    let prog, stats = optimize_source (load_source file) config ~naive in
+    Option.iter (Fmt.pr "! %a@.@." Core.Optimizer.pp_stats) stats;
+    Fmt.pr "%s@." (Ir.Printer.program_to_string prog);
+    0
+  in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ file_arg $ config_term $ naive_arg)
+
+let cmd_run =
+  let doc = "Execute a program under the instrumented interpreter." in
+  let run file config naive fuel =
+    with_errors @@ fun () ->
+    let prog, _ = optimize_source (load_source file) config ~naive in
+    let o = Run.run ~fuel prog in
+    Fmt.pr "%a@." Run.pp_outcome o;
+    if o.Run.trap <> None || o.Run.error <> None then 2 else 0
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ file_arg $ config_term $ naive_arg $ fuel_arg)
+
+let cmd_stats =
+  let doc = "Compare every placement scheme on one program." in
+  let run file kind =
+    with_errors @@ fun () ->
+    let src = load_source file in
+    let ir = Ir.Lower.of_source src in
+    let o0 = Run.run ir in
+    Fmt.pr "naive: %d dynamic checks, %d instruction units@." o0.Run.checks o0.Run.instrs;
+    Fmt.pr "%-6s %12s %12s %9s@." "scheme" "checks" "%eliminated" "time(ms)";
+    List.iter
+      (fun scheme ->
+        let config = Config.make ~scheme ~kind () in
+        let opt, stats = Core.Optimizer.optimize ~config ir in
+        let o = Run.run opt in
+        Fmt.pr "%-6s %12d %11.2f%% %9.2f@." (Config.scheme_name scheme) o.Run.checks
+          (100.0
+          *. float_of_int (o0.Run.checks - o.Run.checks)
+          /. float_of_int (max 1 o0.Run.checks))
+          (1000.0 *. stats.Core.Optimizer.elapsed_s))
+      Config.extended_schemes;
+    0
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file_arg $ kind_arg)
+
+let cmd_list =
+  let doc = "List the built-in benchmark programs." in
+  let run () =
+    List.iter
+      (fun b -> Fmt.pr "%-10s %-8s %s@." b.B.name b.B.bsuite b.B.description)
+      B.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "range-check optimizer for MiniF (Kolte & Wolfe, PLDI 1995)" in
+  let info = Cmd.info "nascentc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ cmd_check; cmd_dump; cmd_run; cmd_stats; cmd_list ]))

@@ -1,0 +1,8 @@
+(* Reproduces the paper's worked examples (Figures 1, 5 and 6) —
+   prints each program fragment before and after the relevant
+   transformation, with dynamic check counts.
+
+   Run with:  dune exec examples/figures.exe
+*)
+
+let () = Nascent_harness.Figures.all ()

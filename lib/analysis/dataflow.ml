@@ -1,0 +1,73 @@
+(* Generic iterative bit-vector data-flow solver.
+
+   Both check analyses are *must* problems (intersection confluence)
+   whose per-block transfer is kill-then-gen, so the solver takes
+   per-block GEN/KILL sets, a direction, and boundary values, and
+   iterates to the maximal fixed point starting from the optimistic
+   full set.
+
+   Unreachable blocks keep the optimistic value; clients only consult
+   reachable blocks. *)
+
+module Bitset = Nascent_support.Bitset
+module Func = Nascent_ir.Func
+
+type direction = Forward | Backward
+
+type block_transfer = { gen : Bitset.t; kill : Bitset.t }
+
+type result = { in_ : Bitset.t array; out : Bitset.t array }
+
+let apply_transfer tf ~input ~output =
+  Bitset.assign ~into:output input;
+  Bitset.diff_into ~into:output tf.kill;
+  Bitset.union_into ~into:output tf.gen
+
+(* [solve f ~universe ~direction ~boundary ~transfer] where
+   [boundary] is the value at the entry (forward) or at every exit
+   block (backward), and [transfer.(b)] the GEN/KILL of block [b]. *)
+let solve (f : Func.t) ~universe ~direction ~(boundary : Bitset.t)
+    ~(transfer : block_transfer array) : result =
+  let n = Func.num_blocks f in
+  let mk_full () = Array.init n (fun _ -> Bitset.full universe) in
+  let in_ = mk_full () and out = mk_full () in
+  let preds = Func.preds_array f in
+  let rpo = Func.rpo f in
+  let order = match direction with Forward -> rpo | Backward -> List.rev rpo in
+  let entry = f.Func.entry in
+  let tmp = Bitset.create universe in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        (* confluence *)
+        let conf_sources =
+          match direction with Forward -> preds.(b) | Backward -> Func.succs f b
+        in
+        let conf_target = match direction with Forward -> in_.(b) | Backward -> out.(b) in
+        let is_boundary =
+          match direction with
+          | Forward -> b = entry
+          | Backward -> conf_sources = [] (* exit blocks *)
+        in
+        if is_boundary then Bitset.assign ~into:conf_target boundary
+        else begin
+          Bitset.fill tmp;
+          List.iter
+            (fun s ->
+              let sv = match direction with Forward -> out.(s) | Backward -> in_.(s) in
+              Bitset.inter_into ~into:tmp sv)
+            conf_sources;
+          Bitset.assign ~into:conf_target tmp
+        end;
+        (* transfer *)
+        let input, output =
+          match direction with Forward -> (in_.(b), out.(b)) | Backward -> (out.(b), in_.(b))
+        in
+        Bitset.assign ~into:tmp output;
+        apply_transfer transfer.(b) ~input ~output;
+        if not (Bitset.equal tmp output) then changed := true)
+      order
+  done;
+  { in_; out }

@@ -1,0 +1,34 @@
+(** Generic iterative bit-vector data-flow solver.
+
+    Both check analyses are {e must} problems (intersection confluence)
+    whose per-block transfer is kill-then-gen; the solver takes
+    per-block GEN/KILL sets, a direction, and a boundary value, and
+    iterates to the maximal fixed point from the optimistic full set.
+
+    Unreachable blocks keep the optimistic value; clients only consult
+    reachable blocks. *)
+
+module Bitset = Nascent_support.Bitset
+
+type direction = Forward | Backward
+
+type block_transfer = { gen : Bitset.t; kill : Bitset.t }
+(** Transfer [X -> (X \ kill) ∪ gen]. *)
+
+type result = {
+  in_ : Bitset.t array;  (** value at each block's entry *)
+  out : Bitset.t array;  (** value at each block's exit *)
+}
+
+val apply_transfer : block_transfer -> input:Bitset.t -> output:Bitset.t -> unit
+
+val solve :
+  Nascent_ir.Func.t ->
+  universe:int ->
+  direction:direction ->
+  boundary:Bitset.t ->
+  transfer:block_transfer array ->
+  result
+(** [boundary] is the value at the entry (forward) or at every exit
+    block (backward). [in_]/[out] are named by {e program} position in
+    both directions. *)

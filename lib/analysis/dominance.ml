@@ -1,0 +1,111 @@
+(* Dominator computation (Cooper–Harvey–Kennedy "engineered" iterative
+   algorithm) plus dominance frontiers and dominator-tree children.
+
+   Operates on reachable blocks only; unreachable blocks report no
+   dominator and dominate nothing. *)
+
+module Func = Nascent_ir.Func
+
+type t = {
+  func : Func.t;
+  idom : int array; (* immediate dominator; entry maps to itself; -1 unreachable *)
+  rpo_index : int array; (* position in reverse postorder; -1 unreachable *)
+  rpo : int list;
+}
+
+let compute (f : Func.t) : t =
+  let n = Func.num_blocks f in
+  let rpo = Func.rpo f in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let preds = Func.preds_array f in
+  let idom = Array.make n (-1) in
+  let entry = f.Func.entry in
+  idom.(entry) <- entry;
+  let intersect a b =
+    (* Walk up the (partially built) dominator tree: the common
+       ancestor with respect to RPO order. *)
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_index.(!b) > rpo_index.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed =
+            List.filter (fun p -> idom.(p) <> -1 && rpo_index.(p) <> -1) preds.(b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { func = f; idom; rpo_index; rpo }
+
+let idom t b = if t.idom.(b) = -1 then None else Some t.idom.(b)
+
+let reachable t b = t.rpo_index.(b) <> -1
+
+(* Does [a] dominate [b]? (Reflexive.) *)
+let dominates t a b =
+  if not (reachable t b) then false
+  else begin
+    let x = ref b in
+    let result = ref false in
+    let continue = ref true in
+    while !continue do
+      if !x = a then begin
+        result := true;
+        continue := false
+      end
+      else if !x = t.func.Func.entry then continue := false
+      else x := t.idom.(!x)
+    done;
+    !result
+  end
+
+(* Dominator-tree children, for tree walks (SSA renaming). *)
+let children t : int list array =
+  let n = Array.length t.idom in
+  let kids = Array.make n [] in
+  for b = 0 to n - 1 do
+    if t.idom.(b) <> -1 && b <> t.func.Func.entry then
+      kids.(t.idom.(b)) <- b :: kids.(t.idom.(b))
+  done;
+  Array.map List.rev kids
+
+(* Dominance frontiers (Cytron et al.), for phi placement. *)
+let frontiers t : int list array =
+  let n = Array.length t.idom in
+  let df = Array.make n [] in
+  let preds = Func.preds_array t.func in
+  for b = 0 to n - 1 do
+    if reachable t b && List.length preds.(b) >= 2 then
+      List.iter
+        (fun p ->
+          if reachable t p then begin
+            let runner = ref p in
+            while !runner <> t.idom.(b) do
+              if not (List.mem b df.(!runner)) then df.(!runner) <- b :: df.(!runner);
+              runner := t.idom.(!runner)
+            done
+          end)
+        preds.(b)
+  done;
+  df

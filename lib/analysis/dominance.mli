@@ -1,0 +1,25 @@
+(** Dominator computation (Cooper–Harvey–Kennedy iterative algorithm)
+    plus dominance frontiers and dominator-tree children.
+
+    Operates on reachable blocks only; unreachable blocks report no
+    dominator and dominate nothing. *)
+
+type t
+
+val compute : Nascent_ir.Func.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator; [Some entry] for the entry block itself,
+    [None] for unreachable blocks. *)
+
+val reachable : t -> int -> bool
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b]? Reflexive; false when [b]
+    is unreachable. *)
+
+val children : t -> int list array
+(** Dominator-tree children, for tree walks (SSA renaming). *)
+
+val frontiers : t -> int list array
+(** Dominance frontiers (Cytron et al.), for phi placement. *)

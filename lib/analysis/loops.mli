@@ -1,0 +1,32 @@
+(** Natural loops.
+
+    Finds back edges (edges whose target dominates their source),
+    builds the natural loop of each header, and pairs the result with
+    the lowering-time loop metadata (do/while structure, index
+    variables, bounds) — what the preheader insertion schemes consume.
+
+    {!compute} reports loops innermost-first: the order in which the
+    paper hoists checks "to the outermost loop possible" (section
+    3.3). *)
+
+type loop = {
+  header : int;
+  blocks : int list;  (** includes the header *)
+  block_set : bool array;  (** indexed by block id *)
+  meta : Nascent_ir.Types.loop_meta option;
+      (** lowering metadata, when this is a source-level loop *)
+  defined_vids : (int, unit) Hashtbl.t;
+      (** scalars assigned anywhere inside the loop *)
+  has_store : bool;  (** any store or call (which may store) inside *)
+  depth : int;  (** nesting depth, outermost = 1 *)
+}
+
+val compute : Nascent_ir.Func.t -> loop list
+(** All natural loops, innermost-first. *)
+
+val in_loop : loop -> int -> bool
+val defines : loop -> int -> bool
+
+val innermost_containing : loop list -> int -> loop option
+(** The innermost loop (from an innermost-first list) containing the
+    block. *)

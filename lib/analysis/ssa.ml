@@ -1,0 +1,156 @@
+(* SSA overlay.
+
+   Rather than rewriting the IR into SSA form, this module computes the
+   SSA name structure *about* the IR: definitions (entry values,
+   assignments, phi nodes placed on dominance frontiers) and, per
+   instruction site, the environment mapping each variable to its
+   reaching definition. Induction variable analysis (paper section 2.3)
+   and the INX check rewriting are the clients.
+
+   Only reachable blocks are renamed; sites in unreachable blocks have
+   no snapshot. *)
+
+module Func = Nascent_ir.Func
+module Vec = Nascent_support.Vec
+open Nascent_ir.Types
+
+type def_id = int
+
+type def_desc =
+  | Dentry of var (* the value on function entry (parameter or zero) *)
+  | Dassign of { bid : int; idx : int; v : var; rhs : expr }
+  | Dphi of { bid : int; v : var; mutable args : (int * def_id) list }
+      (* args: (predecessor block, reaching def along that edge) *)
+
+type t = {
+  func : Func.t;
+  defs : def_desc Vec.t;
+  (* (bid, instr index) -> [vid -> def id] environment *before* the
+     instruction executes (phis of the block already applied). *)
+  snapshots : (int * int, int array) Hashtbl.t;
+  (* phis placed at each block: (vid, def id) list *)
+  phis_at : (int, (int * def_id) list) Hashtbl.t;
+  (* [vid -> def id] at the end of each reachable block *)
+  block_end_env : int array array;
+  nvars : int;
+}
+
+let def t (d : def_id) = Vec.get t.defs d
+
+let var_of_def t (d : def_id) =
+  match def t d with Dentry v -> v | Dassign { v; _ } -> v | Dphi { v; _ } -> v
+
+let def_block t (d : def_id) =
+  match def t d with
+  | Dentry _ -> None
+  | Dassign { bid; _ } -> Some bid
+  | Dphi { bid; _ } -> Some bid
+
+let snapshot t ~bid ~idx = Hashtbl.find_opt t.snapshots (bid, idx)
+
+let phis_at t bid = Option.value ~default:[] (Hashtbl.find_opt t.phis_at bid)
+
+let phi_args t (d : def_id) =
+  match def t d with Dphi { args; _ } -> args | _ -> []
+
+(* --- construction ---------------------------------------------------- *)
+
+let assigned_var (i : instr) : var option =
+  match i with Assign (v, _) -> Some v | _ -> None
+
+let compute (f : Func.t) : t =
+  let nvars = f.Func.next_vid in
+  let dom = Dominance.compute f in
+  let df = Dominance.frontiers dom in
+  let nblocks = Func.num_blocks f in
+  let defs = Vec.create ~dummy:(Dentry { vname = "?"; vid = -1; vty = Int }) in
+  (* 1. blocks assigning each var *)
+  let assign_blocks = Array.make nvars [] in
+  Func.iter_blocks
+    (fun b ->
+      if Dominance.reachable dom b.bid then
+        List.iter
+          (fun i ->
+            match assigned_var i with
+            | Some v -> assign_blocks.(v.vid) <- b.bid :: assign_blocks.(v.vid)
+            | None -> ())
+          b.instrs)
+    f;
+  (* 2. phi placement on iterated dominance frontiers *)
+  let phis_at = Hashtbl.create 16 in
+  let phi_ids = Hashtbl.create 16 in
+  (* (bid, vid) -> def id *)
+  let vars_arr = Array.make nvars None in
+  List.iter (fun (v : var) -> vars_arr.(v.vid) <- Some v) f.Func.vars;
+  List.iter
+    (fun p ->
+      match p with
+      | Pscalar v -> vars_arr.(v.vid) <- Some v
+      | Parr _ -> ())
+    f.Func.params;
+  for vid = 0 to nvars - 1 do
+    match vars_arr.(vid) with
+    | None -> ()
+    | Some v ->
+        let placed = Array.make nblocks false in
+        let work = ref assign_blocks.(vid) in
+        (* entry holds the initial definition, so it counts as a def site *)
+        work := f.Func.entry :: !work;
+        while !work <> [] do
+          let b = List.hd !work in
+          work := List.tl !work;
+          List.iter
+            (fun y ->
+              if not placed.(y) then begin
+                placed.(y) <- true;
+                let did = Vec.push defs (Dphi { bid = y; v; args = [] }) in
+                Hashtbl.replace phis_at y
+                  ((vid, did) :: Option.value ~default:[] (Hashtbl.find_opt phis_at y));
+                Hashtbl.replace phi_ids (y, vid) did;
+                (* a phi is itself a definition *)
+                work := y :: !work
+              end)
+            df.(b)
+        done
+  done;
+  (* 3. renaming via dominator-tree walk *)
+  let snapshots = Hashtbl.create 256 in
+  let block_end_env = Array.make nblocks [||] in
+  let cur = Array.make nvars (-1) in
+  for vid = 0 to nvars - 1 do
+    match vars_arr.(vid) with
+    | Some v -> cur.(vid) <- Vec.push defs (Dentry v)
+    | None -> ()
+  done;
+  let children = Dominance.children dom in
+  let preds = Func.preds_array f in
+  ignore preds;
+  let rec walk bid (env : int array) =
+    let env = Array.copy env in
+    (* phis first *)
+    List.iter (fun (vid, did) -> env.(vid) <- did) (phis_at_tbl bid);
+    let b = Func.block f bid in
+    List.iteri
+      (fun idx i ->
+        Hashtbl.replace snapshots (bid, idx) (Array.copy env);
+        match i with
+        | Assign (v, rhs) ->
+            let did = Vec.push defs (Dassign { bid; idx; v; rhs }) in
+            env.(v.vid) <- did
+        | _ -> ())
+      b.instrs;
+    block_end_env.(bid) <- env;
+    (* fill successor phi args *)
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (vid, did) ->
+            match Vec.get defs did with
+            | Dphi p -> p.args <- (bid, env.(vid)) :: p.args
+            | _ -> ())
+          (phis_at_tbl s))
+      (Func.succs f bid);
+    List.iter (fun c -> if Dominance.reachable dom c then walk c env) children.(bid)
+  and phis_at_tbl bid = Option.value ~default:[] (Hashtbl.find_opt phis_at bid) in
+  if nblocks > 0 then walk f.Func.entry cur;
+  { func = f; defs; snapshots; phis_at; block_end_env; nvars }

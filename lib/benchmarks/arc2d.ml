@@ -1,0 +1,154 @@
+(* arc2d (Perfect suite): implicit finite-difference fluid solver.
+
+   Character: 2-D stencil sweeps over multi-component grids. Subscripts
+   are the loop indices plus/minus small constants — all linear, so the
+   preheader schemes eliminate nearly everything; the five-point
+   stencil re-reads neighbours, feeding plain redundancy elimination. *)
+
+let name = "arc2d"
+let suite = "Perfect"
+
+let description =
+  "implicit 2-D finite-difference solver: multi-component stencil sweeps, \
+   boundary loops, all-linear indexing"
+
+let source =
+  {|
+program arc2d
+  integer m, nc, nsweeps, i, j, k, t
+  real q(0:21, 0:21, 1:3), rhs(0:21, 0:21, 1:3), work(0:21, 0:21)
+  real dtime, rel
+  real chk(1:1)
+
+  m = 20
+  nc = 3
+  nsweeps = 2
+  dtime = 0.05
+  rel = 0.9
+
+  ! initial condition: smooth hump per component
+  do k = 1, nc
+    do j = 0, m + 1
+      do i = 0, m + 1
+        q(i, j, k) = 1.0 + 0.001 * (i * j + k)
+        rhs(i, j, k) = 0.0
+      enddo
+    enddo
+  enddo
+
+  do t = 1, nsweeps
+    call fluxes(q, rhs, m, nc)
+    call resid(q, rhs, work, m, nc)
+    call smooth(q, rhs, m, nc, dtime, rel)
+    call filter4(q, work, m, nc)
+    call bc(q, m, nc)
+  enddo
+
+  chk(1) = 0.0
+  do k = 1, nc
+    do j = 1, m
+      do i = 1, m
+        chk(1) = chk(1) + q(i, j, k)
+      enddo
+    enddo
+  enddo
+  print chk(1)
+end
+
+! five-point stencil residual, one component at a time
+subroutine resid(q, rhs, work, m, nc)
+  integer m, nc, i, j, k
+  real q(0:m + 1, 0:m + 1, 1:nc), rhs(0:m + 1, 0:m + 1, 1:nc)
+  real work(0:m + 1, 0:m + 1)
+
+  do k = 1, nc
+    do j = 1, m
+      do i = 1, m
+        work(i, j) = q(i - 1, j, k) + q(i + 1, j, k) + q(i, j - 1, k) + q(i, j + 1, k) - 4.0 * q(i, j, k)
+      enddo
+    enddo
+    do j = 1, m
+      do i = 1, m
+        rhs(i, j, k) = work(i, j) + 0.25 * (work(i, j) * work(i, j)) * 0.001
+      enddo
+    enddo
+  enddo
+end
+
+! pointwise implicit smoothing update
+subroutine smooth(q, rhs, m, nc, dtime, rel)
+  integer m, nc, i, j, k
+  real q(0:m + 1, 0:m + 1, 1:nc), rhs(0:m + 1, 0:m + 1, 1:nc)
+  real dtime, rel
+
+  do k = 1, nc
+    do j = 1, m
+      do i = 1, m
+        q(i, j, k) = q(i, j, k) + rel * dtime * rhs(i, j, k)
+      enddo
+    enddo
+  enddo
+end
+
+! directional flux differences seeding the right-hand side
+subroutine fluxes(q, rhs, m, nc)
+  integer m, nc, i, j, k
+  real q(0:m + 1, 0:m + 1, 1:nc), rhs(0:m + 1, 0:m + 1, 1:nc)
+  real fx, fy
+
+  do k = 1, nc
+    ! x-direction pass
+    do j = 1, m
+      do i = 1, m
+        fx = 0.5 * (q(i + 1, j, k) - q(i - 1, j, k))
+        rhs(i, j, k) = fx * (1.0 + 0.01 * q(i, j, k))
+      enddo
+    enddo
+    ! y-direction pass accumulates
+    do j = 1, m
+      do i = 1, m
+        fy = 0.5 * (q(i, j + 1, k) - q(i, j - 1, k))
+        rhs(i, j, k) = rhs(i, j, k) + fy * (1.0 - 0.01 * q(i, j, k))
+      enddo
+    enddo
+  enddo
+end
+
+! fourth-difference artificial dissipation (classic arc2d ingredient)
+subroutine filter4(q, work, m, nc)
+  integer m, nc, i, j, k
+  real q(0:m + 1, 0:m + 1, 1:nc), work(0:m + 1, 0:m + 1)
+  real eps
+
+  eps = 0.003
+  do k = 1, nc
+    do j = 1, m
+      do i = 2, m - 1
+        work(i, j) = q(i - 2 + 1, j, k) - 2.0 * q(i, j, k) + q(i + 1, j, k)
+      enddo
+    enddo
+    do j = 1, m
+      do i = 2, m - 1
+        q(i, j, k) = q(i, j, k) - eps * work(i, j)
+      enddo
+    enddo
+  enddo
+end
+
+! reflective boundary conditions on the four edges
+subroutine bc(q, m, nc)
+  integer m, nc, i, j, k
+  real q(0:m + 1, 0:m + 1, 1:nc)
+
+  do k = 1, nc
+    do i = 1, m
+      q(i, 0, k) = q(i, 1, k)
+      q(i, m + 1, k) = q(i, m, k)
+    enddo
+    do j = 0, m + 1
+      q(0, j, k) = q(1, j, k)
+      q(m + 1, j, k) = q(m, j, k)
+    enddo
+  enddo
+end
+|}

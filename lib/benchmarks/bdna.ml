@@ -1,0 +1,180 @@
+(* bdna (Perfect suite): molecular dynamics of a DNA-like chain.
+
+   Character: pair-distance loops with *conditional* force accumulation
+   under a cutoff test — checks inside the `if` are not anticipatable
+   at the loop body start, so even LLS leaves a small residue (the
+   paper reports 98.4%, not ~100%). A while-loop equilibration driver
+   defeats safe-earliest hoisting. Repeated subscripts keep NI around
+   90%. *)
+
+let name = "bdna"
+let suite = "Perfect"
+
+let description =
+  "chain molecular dynamics: cutoff-conditional accesses (LLS residue), \
+   while-loop driver, heavy subscript reuse"
+
+let source =
+  {|
+program bdna
+  integer na, i, steps, maxsteps
+  real px(1:48), py(1:48), pz(1:48)
+  real fx(1:48), fy(1:48), fz(1:48)
+  real vx(1:48), vy(1:48), vz(1:48)
+  real dt, cutoff2, energy
+  real echk(1:1)
+
+  na = 48
+  dt = 0.002
+  cutoff2 = 30.0
+  maxsteps = 3
+
+  ! helix-ish initial coordinates
+  do i = 1, na
+    px(i) = 0.5 * i
+    py(i) = 0.3 * (na - i)
+    pz(i) = 0.1 * i
+    vx(i) = 0.0
+    vy(i) = 0.0
+    vz(i) = 0.0
+  enddo
+
+  ! equilibrate until the step budget runs out (while-loop driver)
+  steps = 0
+  while steps < maxsteps do
+    call forces(px, py, pz, fx, fy, fz, na, cutoff2)
+    call bend(px, py, pz, fx, fy, fz, na)
+    call integrate(px, py, pz, vx, vy, vz, fx, fy, fz, na, dt)
+    call thermostat(vx, vy, vz, na)
+    steps = steps + 1
+  endwhile
+
+  call energy_of(px, py, pz, vx, vy, vz, na, echk)
+  energy = echk(1)
+  print energy
+end
+
+! three-body bending forces along the chain (i-1, i, i+1 triples)
+subroutine bend(px, py, pz, fx, fy, fz, na)
+  integer na, i
+  real px(1:na), py(1:na), pz(1:na)
+  real fx(1:na), fy(1:na), fz(1:na)
+  real bx, by, bz, kb
+
+  kb = 0.05
+  do i = 2, na - 1
+    bx = px(i - 1) - 2.0 * px(i) + px(i + 1)
+    by = py(i - 1) - 2.0 * py(i) + py(i + 1)
+    bz = pz(i - 1) - 2.0 * pz(i) + pz(i + 1)
+    fx(i) = fx(i) + kb * bx
+    fy(i) = fy(i) + kb * by
+    fz(i) = fz(i) + kb * bz
+    fx(i - 1) = fx(i - 1) - 0.5 * kb * bx
+    fx(i + 1) = fx(i + 1) - 0.5 * kb * bx
+  enddo
+end
+
+! crude velocity rescaling toward a target kinetic energy
+subroutine thermostat(vx, vy, vz, na)
+  integer na, i
+  real vx(1:na), vy(1:na), vz(1:na)
+  real ke, scale
+
+  ke = 0.0
+  do i = 1, na
+    ke = ke + vx(i) * vx(i) + vy(i) * vy(i) + vz(i) * vz(i)
+  enddo
+  if ke > 10.0 then
+    scale = 0.95
+  else
+    scale = 1.0
+  endif
+  do i = 1, na
+    vx(i) = vx(i) * scale
+    vy(i) = vy(i) * scale
+    vz(i) = vz(i) * scale
+  enddo
+end
+
+! pairwise forces with a cutoff: the accumulation accesses are inside
+! the cutoff conditional
+subroutine forces(px, py, pz, fx, fy, fz, na, cutoff2)
+  integer na, i, j
+  real px(1:na), py(1:na), pz(1:na)
+  real fx(1:na), fy(1:na), fz(1:na)
+  integer ncontact(1:na)
+  real cutoff2, dx, dy, dz, r2, s
+
+  do i = 1, na
+    fx(i) = 0.0
+    fy(i) = 0.0
+    fz(i) = 0.0
+    ncontact(i) = 0
+  enddo
+
+  ! softened pair force, computed for every pair; the close-contact
+  ! bookkeeping stays under the cutoff conditional, so its checks are
+  ! not anticipatable at the body start and survive even LLS (the
+  ! paper's bdna residue)
+  do i = 1, na
+    do j = 1, na
+      dx = px(i) - px(j)
+      dy = py(i) - py(j)
+      dz = pz(i) - pz(j)
+      r2 = dx * dx + dy * dy + dz * dz
+      if r2 < cutoff2 then
+        s = 1.0 / (r2 + 0.1)
+        ncontact(i) = ncontact(i) + 1
+      else
+        s = 0.0
+      endif
+      fx(i) = fx(i) + s * dx
+      fy(i) = fy(i) + s * dy
+      fz(i) = fz(i) + s * dz
+    enddo
+  enddo
+
+  ! bonded neighbours along the chain
+  do i = 2, na
+    dx = px(i) - px(i - 1)
+    dy = py(i) - py(i - 1)
+    dz = pz(i) - pz(i - 1)
+    fx(i) = fx(i) - 0.5 * dx
+    fy(i) = fy(i) - 0.5 * dy
+    fz(i) = fz(i) - 0.5 * dz
+    fx(i - 1) = fx(i - 1) + 0.5 * dx
+    fy(i - 1) = fy(i - 1) + 0.5 * dy
+    fz(i - 1) = fz(i - 1) + 0.5 * dz
+  enddo
+end
+
+subroutine integrate(px, py, pz, vx, vy, vz, fx, fy, fz, na, dt)
+  integer na, i
+  real px(1:na), py(1:na), pz(1:na)
+  real vx(1:na), vy(1:na), vz(1:na)
+  real fx(1:na), fy(1:na), fz(1:na)
+  real dt
+
+  do i = 1, na
+    vx(i) = vx(i) + dt * fx(i)
+    vy(i) = vy(i) + dt * fy(i)
+    vz(i) = vz(i) + dt * fz(i)
+    px(i) = px(i) + dt * vx(i)
+    py(i) = py(i) + dt * vy(i)
+    pz(i) = pz(i) + dt * vz(i)
+  enddo
+end
+
+subroutine energy_of(px, py, pz, vx, vy, vz, na, echk)
+  integer na, i
+  real px(1:na), py(1:na), pz(1:na)
+  real vx(1:na), vy(1:na), vz(1:na)
+  real echk(1:1)
+
+  echk(1) = 0.0
+  do i = 1, na
+    echk(1) = echk(1) + vx(i) * vx(i) + vy(i) * vy(i) + vz(i) * vz(i)
+    echk(1) = echk(1) + 0.001 * (px(i) + py(i) + pz(i))
+  enddo
+end
+|}

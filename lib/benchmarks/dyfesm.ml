@@ -1,0 +1,150 @@
+(* dyfesm (Perfect suite): finite-element structural dynamics.
+
+   Character: the paper's PRE standout — NI eliminates only ~70% while
+   SE/LNI gain ~7 more points. We reproduce the cause: element loops
+   whose accesses are *partially redundant* (performed on one branch of
+   a material-model diamond and again after the join), which
+   availability alone cannot remove but edge placement can. Indirect
+   connectivity accesses (gathered via an element-node map) are opaque
+   to canonicalization and survive every scheme in small numbers. *)
+
+let name = "dyfesm"
+let suite = "Perfect"
+
+let description =
+  "finite elements: branchy element loops with partially redundant accesses \
+   (PRE gains), indirect connectivity (opaque residue)"
+
+let source =
+  {|
+program dyfesm
+  integer ne, nn, nsteps, e, i, t
+  real disp(1:60), veloc(1:60), force(1:60), stiff(1:50)
+  real mass(1:60), ework(1:1)
+  integer conn(1:50)
+  real dt, fsum
+  real chk(1:1)
+
+  ne = 50
+  nn = 60
+  nsteps = 3
+  dt = 0.01
+
+  ! mesh setup: element e connects node conn(e) = e + (wiggle)
+  do e = 1, ne
+    conn(e) = e + mod(e, 3)
+    stiff(e) = 1.0 + 0.01 * e
+  enddo
+  do i = 1, nn
+    disp(i) = 0.001 * i
+    veloc(i) = 0.0
+    force(i) = 0.0
+  enddo
+
+  call lumpmass(mass, stiff, ne, nn)
+
+  do t = 1, nsteps
+    call zero(force, nn)
+    call elemforce(disp, force, stiff, conn, ne, nn)
+    call applymass(force, mass, nn)
+    call stepnodes(disp, veloc, force, nn, dt)
+    call senergy(disp, stiff, ne, nn, ework)
+  enddo
+
+  fsum = 0.0
+  do i = 1, nn
+    fsum = fsum + disp(i)
+  enddo
+  chk(1) = fsum
+  print chk(1)
+end
+
+subroutine zero(force, nn)
+  integer nn, i
+  real force(1:nn)
+  do i = 1, nn
+    force(i) = 0.0
+  enddo
+end
+
+! element force assembly: a material-model diamond makes the trailing
+! accumulation *partially redundant* with the branch bodies
+subroutine elemforce(disp, force, stiff, conn, ne, nn)
+  integer ne, nn, e
+  real disp(1:nn), force(1:nn), stiff(1:ne)
+  integer conn(1:ne)
+  real strain, fmag
+
+  do e = 1, ne - 1
+    if mod(e, 2) = 0 then
+      ! the tension model reads the displacements and touches
+      ! force(e) here ...
+      strain = disp(e + 1) - disp(e)
+      fmag = stiff(e) * strain
+      force(e) = force(e) + fmag
+    else
+      ! ... the compression model touches neither
+      fmag = 0.01 * stiff(e)
+    endif
+    ! ... and the join touches them again: redundant only on the
+    ! tension path (SE/LNI insert on the compression edge)
+    force(e) = force(e) - 0.5 * fmag
+    force(e + 1) = force(e + 1) + 0.5 * fmag
+    disp(e) = disp(e) * 0.999
+  enddo
+
+  ! indirect gather through the connectivity map: subscripts are
+  ! loads, opaque to canonical range expressions
+  do e = 1, ne
+    force(conn(e)) = force(conn(e)) + 0.01 * stiff(e)
+  enddo
+end
+
+! lumped nodal masses from element stiffnesses
+subroutine lumpmass(mass, stiff, ne, nn)
+  integer ne, nn, e, i
+  real mass(1:nn), stiff(1:ne)
+
+  do i = 1, nn
+    mass(i) = 1.0
+  enddo
+  do e = 1, ne - 1
+    mass(e) = mass(e) + 0.5 * stiff(e)
+    mass(e + 1) = mass(e + 1) + 0.5 * stiff(e)
+  enddo
+end
+
+! divide forces by the lumped masses (explicit dynamics)
+subroutine applymass(force, mass, nn)
+  integer nn, i
+  real force(1:nn), mass(1:nn)
+
+  do i = 1, nn
+    force(i) = force(i) / mass(i)
+  enddo
+end
+
+! strain energy over the elements
+subroutine senergy(disp, stiff, ne, nn, ework)
+  integer ne, nn, e
+  real disp(1:nn), stiff(1:ne)
+  real ework(1:1)
+  real s
+
+  ework(1) = 0.0
+  do e = 1, ne - 1
+    s = disp(e + 1) - disp(e)
+    ework(1) = ework(1) + 0.5 * stiff(e) * s * s
+  enddo
+end
+
+subroutine stepnodes(disp, veloc, force, nn, dt)
+  integer nn, i
+  real disp(1:nn), veloc(1:nn), force(1:nn)
+  real dt
+  do i = 1, nn
+    veloc(i) = veloc(i) + dt * force(i)
+    disp(i) = disp(i) + dt * veloc(i)
+  enddo
+end
+|}

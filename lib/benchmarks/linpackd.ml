@@ -1,0 +1,185 @@
+(* linpackd (Riceps suite): LU factorization and solve.
+
+   Character: the classic dgefa/dgesl pair on a dense matrix —
+   column-sliced daxpy inner loops (all linear), a pivot-search loop
+   with an out-parameter array (MiniF scalars pass by value), and
+   triangular back-substitution. Modest subscript reuse puts NI around
+   the paper's 66%; LLS hoists nearly everything (99.7%). *)
+
+let name = "linpackd"
+let suite = "Riceps"
+
+let description =
+  "LU factorization/solve: daxpy column kernels, pivot search, triangular \
+   back-substitution"
+
+let source =
+  {|
+program linpackd
+  integer n, i, j
+  real a(1:20, 1:20), b(1:20), xsol(1:20)
+  real asave(1:20, 1:20), bsave(1:20), rwork(1:20)
+  real nrm(1:2)
+  integer ipvt(1:20)
+  real resid
+  real chk(1:1)
+
+  n = 20
+
+  ! diagonally dominant test matrix
+  do j = 1, n
+    do i = 1, n
+      if i = j then
+        a(i, j) = 10.0 + 0.1 * i
+      else
+        a(i, j) = 1.0 / (i + j)
+      endif
+    enddo
+    b(j) = 1.0 + 0.01 * j
+  enddo
+
+  ! keep the original matrix and right-hand side for the residual
+  do j = 1, n
+    do i = 1, n
+      asave(i, j) = a(i, j)
+    enddo
+    bsave(j) = b(j)
+  enddo
+
+  call dgefa(a, ipvt, n)
+  call dgesl(a, b, ipvt, n)
+
+  do i = 1, n
+    xsol(i) = b(i)
+  enddo
+
+  ! residual r = b0 - A0 x and its norms (the linpack quality metric)
+  call dmxpy(asave, xsol, rwork, n)
+  do i = 1, n
+    rwork(i) = bsave(i) - rwork(i)
+  enddo
+  call norms(rwork, xsol, n, nrm)
+
+  resid = 0.0
+  do i = 1, n
+    resid = resid + xsol(i)
+  enddo
+  chk(1) = resid + nrm(1) + nrm(2)
+  print chk(1)
+end
+
+! y = A x (column-sweep matrix-vector product)
+subroutine dmxpy(a, x, y, n)
+  integer n, i, j
+  real a(1:n, 1:n), x(1:n), y(1:n)
+
+  do i = 1, n
+    y(i) = 0.0
+  enddo
+  do j = 1, n
+    do i = 1, n
+      y(i) = y(i) + a(i, j) * x(j)
+    enddo
+  enddo
+end
+
+! one-norm of the residual and infinity-norm of the solution
+subroutine norms(r, x, n, nrm)
+  integer n, i
+  real r(1:n), x(1:n)
+  real nrm(1:2)
+
+  nrm(1) = 0.0
+  nrm(2) = 0.0
+  do i = 1, n
+    nrm(1) = nrm(1) + abs(r(i))
+    if abs(x(i)) > nrm(2) then
+      nrm(2) = abs(x(i))
+    endif
+  enddo
+end
+
+! LU factorization with partial pivoting
+subroutine dgefa(a, ipvt, n)
+  integer n, i, j, k, l
+  real a(1:n, 1:n), t
+  integer ipvt(1:n)
+  real lmax(1:1)
+  integer lidx(1:1)
+
+  do k = 1, n - 1
+    ! pivot search in column k (idamax)
+    call idamax(a, k, n, lidx, lmax)
+    l = lidx(1)
+    ipvt(k) = l
+    if l /= k then
+      t = a(l, k)
+      a(l, k) = a(k, k)
+      a(k, k) = t
+    endif
+    ! scale the column
+    t = -1.0 / a(k, k)
+    do i = k + 1, n
+      a(i, k) = a(i, k) * t
+    enddo
+    ! rank-1 update of the trailing submatrix (daxpy per column)
+    do j = k + 1, n
+      t = a(l, j)
+      if l /= k then
+        a(l, j) = a(k, j)
+        a(k, j) = t
+      endif
+      do i = k + 1, n
+        a(i, j) = a(i, j) + t * a(i, k)
+      enddo
+    enddo
+  enddo
+  ipvt(n) = n
+end
+
+! index of the largest magnitude element of column k, rows k..n
+subroutine idamax(a, k, n, lidx, lmax)
+  integer k, n, i
+  real a(1:n, 1:n)
+  integer lidx(1:1)
+  real lmax(1:1)
+
+  lidx(1) = k
+  lmax(1) = abs(a(k, k))
+  do i = k + 1, n
+    if abs(a(i, k)) > lmax(1) then
+      lmax(1) = abs(a(i, k))
+      lidx(1) = i
+    endif
+  enddo
+end
+
+! forward elimination and back substitution using the stored factors
+subroutine dgesl(a, b, ipvt, n)
+  integer n, i, k, l
+  real a(1:n, 1:n), b(1:n), t
+  integer ipvt(1:n)
+
+  ! forward: apply the multipliers in pivot order
+  do k = 1, n - 1
+    l = ipvt(k)
+    t = b(l)
+    if l /= k then
+      b(l) = b(k)
+      b(k) = t
+    endif
+    do i = k + 1, n
+      b(i) = b(i) + t * a(i, k)
+    enddo
+  enddo
+
+  ! back substitution
+  do k = n, 1, -1
+    b(k) = b(k) / a(k, k)
+    t = -b(k)
+    do i = 1, k - 1
+      b(i) = b(i) + t * a(i, k)
+    enddo
+  enddo
+end
+|}

@@ -1,0 +1,124 @@
+(* mdg (Perfect suite): molecular dynamics of water molecules.
+
+   Character: double pair loops over molecule sites (three sites per
+   molecule: oxygen plus two hydrogens), moderate subscript reuse
+   (NI around 80%), fully linear indexing so the preheader schemes take
+   nearly everything; a predictor/corrector sweep adds straight-line
+   array traffic. *)
+
+let name = "mdg"
+let suite = "Perfect"
+
+let description =
+  "water molecular dynamics: site pair loops (3 sites/molecule), \
+   predictor-corrector sweeps, linear indexing"
+
+let source =
+  {|
+program mdg
+  integer nm, ns, nsteps, i, t
+  real sx(1:54), sy(1:54)
+  real fsx(1:54), fsy(1:54)
+  real vx(1:54), vy(1:54)
+  real dt
+  real chk(1:1)
+
+  nm = 18
+  ns = nm * 3
+  nsteps = 2
+  dt = 0.001
+
+  do i = 1, ns
+    sx(i) = 0.7 * i
+    sy(i) = 0.2 * i + 0.01 * mod(i, 5)
+    vx(i) = 0.0
+    vy(i) = 0.0
+  enddo
+
+  do t = 1, nsteps
+    call predict(sx, sy, vx, vy, ns, dt)
+    call interf(sx, sy, fsx, fsy, ns)
+    call intraf(sx, sy, fsx, fsy, ns)
+    call correct(vx, vy, fsx, fsy, ns, dt)
+  enddo
+
+  chk(1) = 0.0
+  do i = 1, ns
+    chk(1) = chk(1) + sx(i) * 0.001 + vy(i)
+  enddo
+  print chk(1)
+end
+
+subroutine predict(sx, sy, vx, vy, ns, dt)
+  integer ns, i
+  real sx(1:ns), sy(1:ns), vx(1:ns), vy(1:ns)
+  real dt
+  do i = 1, ns
+    sx(i) = sx(i) + dt * vx(i)
+    sy(i) = sy(i) + dt * vy(i)
+  enddo
+end
+
+! intermolecular site-site forces: O-O, O-H, H-H handled in one pair
+! sweep with per-site weights
+subroutine interf(sx, sy, fsx, fsy, ns)
+  integer ns, i, j
+  real sx(1:ns), sy(1:ns), fsx(1:ns), fsy(1:ns)
+  real dx, dy, r2, s, wi
+
+  do i = 1, ns
+    fsx(i) = 0.0
+    fsy(i) = 0.0
+  enddo
+
+  do i = 1, ns
+    if mod(i, 3) = 1 then
+      wi = 1.0
+    else
+      wi = 0.4
+    endif
+    do j = i + 1, ns
+      dx = sx(i) - sx(j)
+      dy = sy(i) - sy(j)
+      r2 = dx * dx + dy * dy + 0.05
+      s = wi / r2
+      fsx(i) = fsx(i) + s * dx
+      fsy(i) = fsy(i) + s * dy
+      fsx(j) = fsx(j) - s * dx
+      fsy(j) = fsy(j) - s * dy
+    enddo
+  enddo
+end
+
+! intramolecular O-H spring forces within each 3-site molecule
+subroutine intraf(sx, sy, fsx, fsy, ns)
+  integer ns, i
+  real sx(1:ns), sy(1:ns), fsx(1:ns), fsy(1:ns)
+  real dx1, dy1, dx2, dy2, kb
+
+  kb = 2.0
+  do i = 1, ns - 2, 3
+    ! oxygen at i, hydrogens at i+1 and i+2
+    dx1 = sx(i + 1) - sx(i)
+    dy1 = sy(i + 1) - sy(i)
+    dx2 = sx(i + 2) - sx(i)
+    dy2 = sy(i + 2) - sy(i)
+    fsx(i) = fsx(i) + kb * (dx1 + dx2)
+    fsy(i) = fsy(i) + kb * (dy1 + dy2)
+    fsx(i + 1) = fsx(i + 1) - kb * dx1
+    fsy(i + 1) = fsy(i + 1) - kb * dy1
+    fsx(i + 2) = fsx(i + 2) - kb * dx2
+    fsy(i + 2) = fsy(i + 2) - kb * dy2
+  enddo
+end
+
+subroutine correct(vx, vy, fsx, fsy, ns, dt)
+  integer ns, i
+  real vx(1:ns), vy(1:ns), fsx(1:ns), fsy(1:ns)
+  real dt
+  do i = 1, ns
+    vx(i) = vx(i) + dt * fsx(i)
+    vy(i) = vy(i) + dt * fsy(i)
+  enddo
+end
+|}

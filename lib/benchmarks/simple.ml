@@ -1,0 +1,131 @@
+(* simple (Riceps suite): 2-D Lagrangian hydrodynamics.
+
+   Character: the paper's highest NI percentage (92%) — hydro update
+   statements re-read the same cell values many times per iteration, so
+   nearly every check is a straight-line repeat; all indexing is the
+   loop indices plus/minus one, so LLS reaches 99.97%. *)
+
+let name = "simple"
+let suite = "Riceps"
+
+let description =
+  "2-D Lagrangian hydrodynamics: pressure/velocity/energy sweeps with very \
+   heavy per-statement subscript reuse"
+
+let source =
+  {|
+program simple
+  integer m, ncycle, i, j, t
+  real r(1:18, 1:18), z(1:18, 1:18)
+  real u(1:18, 1:18), w(1:18, 1:18)
+  real p(1:18, 1:18), e(1:18, 1:18)
+  real dt, q
+  real chk(1:1)
+
+  m = 18
+  ncycle = 2
+  dt = 0.002
+
+  do j = 1, m
+    do i = 1, m
+      r(i, j) = 1.0 + 0.01 * i
+      z(i, j) = 1.0 + 0.01 * j
+      u(i, j) = 0.0
+      w(i, j) = 0.0
+      p(i, j) = 2.0 + 0.001 * (i + j)
+      e(i, j) = 1.0
+    enddo
+  enddo
+
+  do t = 1, ncycle
+    call hydro(r, z, u, w, p, m, dt)
+    call energy(p, e, u, w, m, dt)
+    call conduct(e, m, dt)
+    call edges(u, w, m)
+  enddo
+
+  q = 0.0
+  do j = 1, m
+    do i = 1, m
+      q = q + e(i, j) + 0.001 * (u(i, j) + w(i, j))
+    enddo
+  enddo
+  chk(1) = q
+  print chk(1)
+end
+
+! momentum and position update; each statement re-reads its cell and
+! the same neighbours several times
+subroutine hydro(r, z, u, w, p, m, dt)
+  integer m, i, j
+  real r(1:m, 1:m), z(1:m, 1:m)
+  real u(1:m, 1:m), w(1:m, 1:m), p(1:m, 1:m)
+  real dt, gradx, grady
+
+  do j = 2, m - 1
+    do i = 2, m - 1
+      gradx = p(i + 1, j) - p(i - 1, j) + 0.5 * (p(i + 1, j) + p(i - 1, j)) * 0.01
+      grady = p(i, j + 1) - p(i, j - 1) + 0.5 * (p(i, j + 1) + p(i, j - 1)) * 0.01
+      u(i, j) = u(i, j) - dt * gradx * u(i, j) * 0.1 - dt * gradx
+      w(i, j) = w(i, j) - dt * grady * w(i, j) * 0.1 - dt * grady
+      r(i, j) = r(i, j) + dt * u(i, j) + dt * dt * u(i, j) * 0.5
+      z(i, j) = z(i, j) + dt * w(i, j) + dt * dt * w(i, j) * 0.5
+    enddo
+  enddo
+end
+
+! explicit heat conduction sweep on the internal energy
+subroutine conduct(e, m, dt)
+  integer m, i, j
+  real e(1:m, 1:m)
+  real dt, kappa, lap
+
+  kappa = 0.02
+  do j = 2, m - 1
+    do i = 2, m - 1
+      lap = e(i - 1, j) + e(i + 1, j) + e(i, j - 1) + e(i, j + 1) - 4.0 * e(i, j)
+      e(i, j) = e(i, j) + dt * kappa * lap
+    enddo
+  enddo
+end
+
+! free-slip velocity boundary copy on the four edges
+subroutine edges(u, w, m)
+  integer m, i, j
+  real u(1:m, 1:m), w(1:m, 1:m)
+
+  do i = 1, m
+    u(i, 1) = u(i, 2)
+    u(i, m) = u(i, m - 1)
+    w(i, 1) = 0.0
+    w(i, m) = 0.0
+  enddo
+  do j = 1, m
+    u(1, j) = 0.0
+    u(m, j) = 0.0
+    w(1, j) = w(2, j)
+    w(m, j) = w(m - 1, j)
+  enddo
+end
+
+! internal energy update with artificial viscosity
+subroutine energy(p, e, u, w, m, dt)
+  integer m, i, j
+  real p(1:m, 1:m), e(1:m, 1:m)
+  real u(1:m, 1:m), w(1:m, 1:m)
+  real dt, div, visc
+
+  do j = 2, m - 1
+    do i = 2, m - 1
+      div = u(i + 1, j) - u(i - 1, j) + w(i, j + 1) - w(i, j - 1)
+      if div < 0.0 then
+        visc = 0.1 * div * div
+      else
+        visc = 0.0
+      endif
+      e(i, j) = e(i, j) - dt * (p(i, j) + visc) * div - dt * e(i, j) * 0.001
+      p(i, j) = 0.4 * e(i, j) * (1.0 + 0.01 * e(i, j))
+    enddo
+  enddo
+end
+|}

@@ -1,0 +1,142 @@
+(* spec77 (Perfect suite): spectral atmospheric model kernel.
+
+   Character: triangular spectral-coefficient loops, and — the paper's
+   check-strengthening standout — *descending offset sequences* like
+   w(k) followed by w(k-1): after canonicalization the later lower
+   bound check is strictly stronger, so plain availability misses it
+   while CS performs the stronger check early (spec77 gains ~3 points
+   from CS and ~6 from SE in Table 2). *)
+
+let name = "spec77"
+let suite = "Perfect"
+
+let description =
+  "spectral model: triangular coefficient loops, descending offset access \
+   sequences (CS gains), recurrence sweeps"
+
+let source =
+  {|
+program spec77
+  integer mm, i, m, k, t, nsteps
+  real coef(1:210), work(1:210), grid(1:40)
+  real rowsum(1:20)
+  real sum
+  real chk(1:1)
+
+  mm = 20
+  nsteps = 2
+
+  ! triangular spectral coefficient array, packed rows
+  do i = 1, (mm * (mm + 1)) / 2
+    coef(i) = 0.001 * i
+    work(i) = 0.0
+  enddo
+  do i = 1, 2 * mm
+    grid(i) = 0.01 * i
+  enddo
+
+  do t = 1, nsteps
+    call legendre(coef, work, mm)
+    call recurdown(work, mm)
+    call diffuse(work, mm)
+    call togrid(work, grid, mm)
+    call spectra(work, rowsum, mm)
+  enddo
+
+  sum = 0.0
+  do i = 1, (mm * (mm + 1)) / 2
+    sum = sum + work(i)
+  enddo
+  chk(1) = sum
+  print chk(1)
+end
+
+! triangular transform: row m holds mm - m + 1 entries
+subroutine legendre(coef, work, mm)
+  integer mm, m, n2, base, idx
+  real coef(1:(mm * (mm + 1)) / 2), work(1:(mm * (mm + 1)) / 2)
+
+  do m = 1, mm
+    base = ((m - 1) * (2 * mm - m + 2)) / 2
+    do n2 = 1, mm - m + 1
+      idx = base + n2
+      work(idx) = coef(idx) * 0.5 + coef(base + 1) * 0.25
+      work(idx) = work(idx) + coef(idx) * coef(idx) * 0.125
+      work(idx) = work(idx) * (1.0 + 0.001 * coef(idx))
+    enddo
+  enddo
+end
+
+! downward recurrence: w(k) read, then w(k-1) read and written — the
+! canonical lower-bound check of w(k-1) is stronger than w(k)'s and
+! appears *after* it: made redundant only by strengthening
+subroutine recurdown(work, mm)
+  integer mm, k, len
+  real work(1:(mm * (mm + 1)) / 2)
+  real a
+
+  len = (mm * (mm + 1)) / 2
+  do k = len, 2, -1
+    a = work(k)
+    work(k - 1) = work(k - 1) + 0.3 * a
+  enddo
+end
+
+! spectral hyper-diffusion: damp each coefficient by its row index
+subroutine diffuse(work, mm)
+  integer mm, m, n2, base
+  real work(1:(mm * (mm + 1)) / 2)
+  real nu
+
+  nu = 0.0001
+  do m = 1, mm
+    base = ((m - 1) * (2 * mm - m + 2)) / 2
+    do n2 = 1, mm - m + 1
+      work(base + n2) = work(base + n2) * (1.0 - nu * m * m)
+    enddo
+  enddo
+end
+
+! per-row energy spectra of the triangular coefficient array
+subroutine spectra(work, rowsum, mm)
+  integer mm, m, n2, base
+  real work(1:(mm * (mm + 1)) / 2)
+  real rowsum(1:mm)
+
+  do m = 1, mm
+    rowsum(m) = 0.0
+    base = ((m - 1) * (2 * mm - m + 2)) / 2
+    do n2 = 1, mm - m + 1
+      rowsum(m) = rowsum(m) + work(base + n2) * work(base + n2)
+    enddo
+  enddo
+end
+
+! synthesis to grid points with wavenumber pairs
+subroutine togrid(work, grid, mm)
+  integer mm, m, g
+  real work(1:(mm * (mm + 1)) / 2), grid(1:2 * mm)
+
+  do g = 1, 2 * mm
+    grid(g) = 0.0
+  enddo
+  ! complex-packed wavenumber pairs: grid(2m-1) holds the real part and
+  ! grid(2m) the imaginary part — the strided subscripts 2m and 2m-1
+  ! are the paper's Figure 1 implication pattern
+  do m = 1, mm
+    grid(2 * m) = grid(2 * m) * 0.999
+    grid(2 * m - 1) = grid(2 * m - 1) * 0.999 + grid(2 * m) * 0.001
+  enddo
+  do m = 1, mm
+    do g = 1, 2 * mm
+      if g > m then
+        grid(g) = grid(g) + work(m) * 0.01
+      else
+        grid(g) = grid(g) - work(m) * 0.01
+      endif
+      grid(g) = grid(g) * 0.9999 + work(m) * 0.0001
+      grid(g) = grid(g) + 0.00001 * work(m) * grid(g)
+    enddo
+  enddo
+end
+|}

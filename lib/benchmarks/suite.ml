@@ -1,0 +1,32 @@
+(* The 10-program benchmark suite mirroring the paper's Table 1
+   selection (Perfect, Riceps and Mendez codes), recreated in MiniF
+   with each program's documented loop/array character. *)
+
+type benchmark = {
+  name : string;
+  bsuite : string; (* Perfect / Riceps / Mendez *)
+  description : string;
+  source : string;
+}
+
+let all : benchmark list =
+  [
+    { name = Vortex.name; bsuite = Vortex.suite; description = Vortex.description; source = Vortex.source };
+    { name = Arc2d.name; bsuite = Arc2d.suite; description = Arc2d.description; source = Arc2d.source };
+    { name = Bdna.name; bsuite = Bdna.suite; description = Bdna.description; source = Bdna.source };
+    { name = Dyfesm.name; bsuite = Dyfesm.suite; description = Dyfesm.description; source = Dyfesm.source };
+    { name = Mdg.name; bsuite = Mdg.suite; description = Mdg.description; source = Mdg.source };
+    { name = Qcd.name; bsuite = Qcd.suite; description = Qcd.description; source = Qcd.source };
+    { name = Spec77.name; bsuite = Spec77.suite; description = Spec77.description; source = Spec77.source };
+    { name = Trfd.name; bsuite = Trfd.suite; description = Trfd.description; source = Trfd.source };
+    { name = Linpackd.name; bsuite = Linpackd.suite; description = Linpackd.description; source = Linpackd.source };
+    { name = Simple.name; bsuite = Simple.suite; description = Simple.description; source = Simple.source };
+  ]
+
+let find name = List.find_opt (fun b -> b.name = name) all
+
+(* Source line count (nonblank), Table 1's "lines" column. *)
+let line_count b =
+  String.split_on_char '\n' b.source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

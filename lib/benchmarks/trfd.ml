@@ -1,0 +1,116 @@
+(* trfd (Perfect suite): two-electron integral transformation kernel.
+
+   Character: triangular loop nests over packed pair indices with
+   *few repeated subscripts* — the paper's lowest NI percentage (61%).
+   Row offsets accumulate across the outer loop (a polynomial
+   recurrence, not hoistable past it), while inner subscripts are
+   base + q (linear): LLS hoists them to the inner preheader. Subscript
+   temps assigned inside the inner loop from invariant operands
+   (iaq = base + 2) are invisible to PRX hoisting but resolve to
+   invariant induction expressions — the paper's "LI optimization of
+   trfd, where about 20% more checks were eliminated due to induction
+   variable analysis". *)
+
+let name = "trfd"
+let suite = "Perfect"
+
+let description =
+  "integral transformation: triangular nests, packed-offset accumulators, \
+   invariant subscript temps (the INX-LI case)"
+
+let source =
+  {|
+program trfd
+  integer nbf, npair, p, q, i, t, nsteps
+  real x(1:136), y(1:136), v(1:16)
+  real acc
+  real chk(1:1)
+
+  nbf = 16
+  npair = (nbf * (nbf + 1)) / 2
+  nsteps = 2
+
+  do i = 1, npair
+    x(i) = 0.01 * i
+    y(i) = 0.0
+  enddo
+  do i = 1, nbf
+    v(i) = 1.0 / (1.0 + i)
+  enddo
+
+  do t = 1, nsteps
+    call transf(x, y, v, nbf)
+    call transf2(y, x, v, nbf)
+    call accum(x, y, npair)
+    call symm(y, nbf)
+  enddo
+
+  acc = 0.0
+  do i = 1, npair
+    acc = acc + y(i)
+  enddo
+  chk(1) = acc
+  print chk(1)
+end
+
+! half-transformation over the packed triangle:
+!   ioff accumulates the row offset (polynomial in the outer index),
+!   inner subscripts ioff + q are linear in q,
+!   iaq is an invariant-valued temp assigned inside the inner loop
+subroutine transf(x, y, v, nbf)
+  integer nbf, p, q, ioff, iaq
+  real x(1:(nbf * (nbf + 1)) / 2), y(1:(nbf * (nbf + 1)) / 2), v(1:nbf)
+  real t1, t2
+
+  ioff = 0
+  do p = 1, nbf
+    do q = 1, p
+      t1 = x(ioff + q) * v(q)
+      t1 = t1 + x(ioff + q) * x(ioff + q) * 0.01
+      iaq = ioff + 1
+      t2 = x(iaq) * 0.5 + x(iaq) * x(iaq) * 0.05
+      y(ioff + q) = y(ioff + q) + t1 + t2 * v(p) + v(q) * 0.001
+    enddo
+    ioff = ioff + p
+  enddo
+end
+
+! second half-transformation: same triangular walk, swapped operands
+subroutine transf2(src, dst, v, nbf)
+  integer nbf, p, q, ioff
+  real src(1:(nbf * (nbf + 1)) / 2), dst(1:(nbf * (nbf + 1)) / 2), v(1:nbf)
+
+  ioff = 0
+  do p = 1, nbf
+    do q = 1, p
+      dst(ioff + q) = dst(ioff + q) + 0.1 * src(ioff + q) * v(p)
+    enddo
+    ioff = ioff + p
+  enddo
+end
+
+! diagonal symmetrization of the packed triangle
+subroutine symm(y, nbf)
+  integer nbf, p, ioff, idiag
+  real y(1:(nbf * (nbf + 1)) / 2)
+
+  ioff = 0
+  do p = 1, nbf
+    idiag = ioff + p
+    y(idiag) = y(idiag) * 0.5 + 0.25 * (y(idiag) + y(ioff + 1))
+    ioff = ioff + p
+  enddo
+end
+
+! pairwise accumulation over distinct packed entries (little reuse)
+subroutine accum(x, y, npair)
+  integer npair, i, half
+  real x(1:npair), y(1:npair)
+
+  half = npair / 2
+  do i = 1, half
+    y(i) = y(i) + 0.2 * x(npair - i + 1)
+    y(npair - i + 1) = y(npair - i + 1) + 0.1 * x(i)
+  enddo
+end
+|}

@@ -1,0 +1,147 @@
+(* vortex (Mendez suite): 2-D point-vortex dynamics.
+
+   Character (scaled from the paper's 710-line original): dense pair
+   loops over vortex arrays with heavily *repeated* subscripts per
+   iteration (x(i), y(i) read several times), so plain redundancy
+   elimination (NI) already removes most checks; every subscript is
+   linear in a loop index, so LLS hoists essentially everything. *)
+
+let name = "vortex"
+let suite = "Mendez"
+
+let description =
+  "2-D point-vortex interaction: O(n^2) pair loops, repeated subscripts, \
+   all-linear indexing"
+
+let source =
+  {|
+program vortex
+  integer nv, nsteps, i, t
+  real x(1:40), y(1:40), g(1:40), u(1:40), v(1:40)
+  real xm(1:40), ym(1:40)
+  real diag(1:4)
+  real dt, cx, cy
+  real chk(1:1)
+
+  nv = 40
+  nsteps = 3
+  dt = 0.01
+
+  ! initialize vortex positions along two offset rings
+  do i = 1, nv
+    x(i) = 0.1 * i
+    y(i) = 0.05 * (nv - i)
+    g(i) = 1.0 + 0.01 * i
+    u(i) = 0.0
+    v(i) = 0.0
+  enddo
+
+  ! second-order (midpoint) time stepping
+  do t = 1, nsteps
+    call induce(x, y, g, u, v, nv)
+    call midpoint(x, y, xm, ym, u, v, nv, dt)
+    call induce(xm, ym, g, u, v, nv)
+    call advance(x, y, u, v, nv, dt)
+    call remesh(x, y, nv)
+  enddo
+
+  call diagnose(x, y, g, u, v, nv, diag)
+
+  ! checksum: positions plus the diagnostics
+  chk(1) = 0.0
+  do i = 1, nv
+    chk(1) = chk(1) + x(i) + y(i)
+  enddo
+  chk(1) = chk(1) + diag(1) + diag(2) + diag(3) + diag(4)
+  print chk(1)
+end
+
+! half-step predictor positions
+subroutine midpoint(x, y, xm, ym, u, v, nv, dt)
+  integer nv, i
+  real x(1:nv), y(1:nv), xm(1:nv), ym(1:nv)
+  real u(1:nv), v(1:nv)
+  real dt
+
+  do i = 1, nv
+    xm(i) = x(i) + 0.5 * dt * u(i)
+    ym(i) = y(i) + 0.5 * dt * v(i)
+  enddo
+end
+
+! keep vortices inside the computational box by reflecting excursions
+subroutine remesh(x, y, nv)
+  integer nv, i
+  real x(1:nv), y(1:nv)
+  real lim
+
+  lim = 8.0
+  do i = 1, nv
+    if x(i) > lim then
+      x(i) = lim - (x(i) - lim) * 0.5
+    endif
+    if x(i) < -lim then
+      x(i) = -lim - (x(i) + lim) * 0.5
+    endif
+    if y(i) > lim then
+      y(i) = lim - (y(i) - lim) * 0.5
+    endif
+    if y(i) < -lim then
+      y(i) = -lim - (y(i) + lim) * 0.5
+    endif
+  enddo
+end
+
+! flow diagnostics: circulation, linear impulse, kinetic proxy
+subroutine diagnose(x, y, g, u, v, nv, diag)
+  integer nv, i
+  real x(1:nv), y(1:nv), g(1:nv), u(1:nv), v(1:nv)
+  real diag(1:4)
+
+  diag(1) = 0.0
+  diag(2) = 0.0
+  diag(3) = 0.0
+  diag(4) = 0.0
+  do i = 1, nv
+    diag(1) = diag(1) + g(i)
+    diag(2) = diag(2) + g(i) * x(i)
+    diag(3) = diag(3) + g(i) * y(i)
+    diag(4) = diag(4) + u(i) * u(i) + v(i) * v(i)
+  enddo
+end
+
+subroutine induce(x, y, g, u, v, nv)
+  integer nv, i, j
+  real x(1:nv), y(1:nv), g(1:nv), u(1:nv), v(1:nv)
+  real dx, dy, r2, fac
+
+  do i = 1, nv
+    u(i) = 0.0
+    v(i) = 0.0
+  enddo
+
+  ! softened interaction: the self term has dx = dy = 0 and
+  ! contributes nothing, so no self-exclusion branch is needed
+  do i = 1, nv
+    do j = 1, nv
+      dx = x(i) - x(j)
+      dy = y(i) - y(j)
+      r2 = dx * dx + dy * dy + 0.01
+      fac = g(j) / r2
+      u(i) = u(i) - fac * dy
+      v(i) = v(i) + fac * dx
+    enddo
+  enddo
+end
+
+subroutine advance(x, y, u, v, nv, dt)
+  integer nv, i
+  real x(1:nv), y(1:nv), u(1:nv), v(1:nv)
+  real dt
+
+  do i = 1, nv
+    x(i) = x(i) + dt * u(i)
+    y(i) = y(i) + dt * v(i)
+  enddo
+end
+|}

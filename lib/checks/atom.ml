@@ -1,0 +1,20 @@
+(* Symbolic atoms of canonical range expressions.
+
+   A range expression is a linear combination of atoms. An atom is
+   usually a program variable, but clients may also introduce synthetic
+   atoms (an opaque non-linear subexpression, an SSA name, or the basic
+   loop variable of induction analysis). The checks library only needs a
+   total order and a printable name, so an atom is a client-allocated
+   integer key plus a display name. *)
+
+type t = { key : int; name : string }
+
+let make ~key ~name = { key; name }
+
+let key t = t.key
+let name t = t.name
+
+let compare a b = Int.compare a.key b.key
+let equal a b = a.key = b.key
+
+let pp ppf a = Fmt.string ppf a.name

@@ -1,0 +1,30 @@
+(** Symbolic atoms of canonical range expressions.
+
+    A range expression is a linear combination of atoms. An atom is
+    usually a program variable, but clients may introduce synthetic
+    atoms: an opaque non-linear subexpression, or the basic loop
+    variable of induction analysis. The checks library only needs a
+    total order and a printable name, so an atom is a client-allocated
+    integer key plus a display name. Keys must be unique within one
+    function's atom environment ({!Nascent_ir.Atoms} manages this). *)
+
+type t
+
+val make : key:int -> name:string -> t
+(** [make ~key ~name] is the atom with unique key [key], displayed as
+    [name]. Equality and ordering use only [key]. *)
+
+val key : t -> int
+(** The client-allocated unique key. *)
+
+val name : t -> string
+(** The display name, used only for printing. *)
+
+val compare : t -> t -> int
+(** Total order by key; the canonical term order of range expressions. *)
+
+val equal : t -> t -> bool
+(** [equal a b] iff the keys coincide. *)
+
+val pp : t Fmt.t
+(** Prints the display name. *)

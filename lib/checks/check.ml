@@ -1,0 +1,80 @@
+(* Canonical range checks: [Check (range-expression <= range-constant)]
+   (paper section 2.2).
+
+   Construction normalizes:
+   - all constants folded into the range constant;
+   - lower-bound checks [lo <= e] negated into [-e <= -lo].
+
+   The normalization makes semantically equivalent checks fall in the
+   same family: the paper's Figure 1 checks [2*N <= 10] and
+   [2*N-1 <= 10] become family [2*N] with constants 10 and 11, and the
+   implication between them is a constant comparison.
+
+   A stronger normalization also divides the coefficients by their gcd
+   [g] and floors the constant, exact over the integers:
+   [g*e <= k <=> e <= floor(k/g)] — it would merge [2*N <= 10] and
+   [2*N <= 11] into one check [N <= 5] outright. The paper's canonical
+   form does not do this (the Figure 1 example relies on the two checks
+   staying distinct), so [make] leaves coefficients alone and the gcd
+   variant is exposed separately as [make_gcd] (measured as an ablation
+   in the benchmark harness). *)
+
+type t = { lhs : Linexpr.t; k : int }
+
+(* floor division for possibly-negative dividends *)
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+(* [make lhs k] is the canonical form of [lhs <= k]. *)
+let make lhs k : t = { lhs; k }
+
+(* gcd-normalizing constructor, see above. *)
+let make_gcd lhs k : t =
+  let g = Linexpr.coeff_gcd lhs in
+  if g > 1 then
+    {
+      lhs = Linexpr.of_terms (List.map (fun (a, c) -> (a, c / g)) (Linexpr.terms lhs));
+      k = fdiv k g;
+    }
+  else { lhs; k }
+
+(* Re-normalize an existing check with the gcd rule. *)
+let gcd_normalize t = make_gcd t.lhs t.k
+
+(* [upper ~sub ~bound] is the canonical upper-bound check [sub <= bound]
+   where both sides are (linexpr, constant) pairs. *)
+let upper ~sub:(se, sc) ~bound:(be, bc) = make (Linexpr.sub se be) (bc - sc)
+
+(* [lower ~sub ~bound] is the canonical lower-bound check [bound <= sub],
+   i.e. [-sub <= -bound]. *)
+let lower ~sub:(se, sc) ~bound:(be, bc) = make (Linexpr.sub be se) (sc - bc)
+
+let lhs t = t.lhs
+let constant t = t.k
+
+let family_key t = t.lhs
+
+(* Within a family, smaller constant = stronger check:
+   [e <= 5] implies [e <= 7]. *)
+let same_family a b = Linexpr.equal a.lhs b.lhs
+
+let implies_within_family a b = same_family a b && a.k <= b.k
+
+let equal a b = same_family a b && a.k = b.k
+
+let compare a b =
+  let c = Linexpr.compare a.lhs b.lhs in
+  if c <> 0 then c else Int.compare a.k b.k
+
+(* A check with no symbolic terms is decidable at compile time:
+   [0 <= k]. *)
+let compile_time_value t = if Linexpr.is_zero t.lhs then Some (0 <= t.k) else None
+
+let mentions_key t k = Linexpr.mentions_key t.lhs k
+
+let atom_keys t = Linexpr.atom_keys t.lhs
+
+let hash t = (Linexpr.hash t.lhs * 31) + t.k
+
+let pp ppf t = Fmt.pf ppf "Check (%a <= %d)" Linexpr.pp t.lhs t.k

@@ -1,0 +1,133 @@
+(* A frozen universe of canonical checks with precomputed implication
+   relations, the set domain of the optimizer's data-flow analyses.
+
+   The three implication modes correspond to the paper's Table 3
+   ablations:
+   - [All_implications]  — full use of the CIG (the default);
+   - [No_implications]   — a check implies only itself (the primed NI'
+                           and SE' variants);
+   - [Cross_family_only] — within-family implication disabled, edges
+                           between different families kept (the LLS'
+                           variant, which preserves the implications
+                           from preheader conditional checks to the
+                           loop-body checks they cover). *)
+
+type mode = No_implications | Cross_family_only | All_implications
+
+let mode_name = function
+  | No_implications -> "no-impl"
+  | Cross_family_only -> "cross-family-only"
+  | All_implications -> "all-impl"
+
+type t = {
+  cig : Cig.t;
+  index : (Check.t, int) Hashtbl.t;
+  checks : Check.t array;
+  families : int array; (* check index -> family id *)
+  mode : mode;
+  avail_gen : Nascent_support.Bitset.t array;
+      (* checks made available by performing check i *)
+  ant_gen : Nascent_support.Bitset.t array;
+      (* checks made anticipatable by performing check i (same-family only,
+         per the paper's stronger anticipatability conditions) *)
+  kills : (int, Nascent_support.Bitset.t) Hashtbl.t; (* atom key -> checks killed *)
+}
+
+module Bitset = Nascent_support.Bitset
+
+let size t = Array.length t.checks
+
+let mode t = t.mode
+
+let check t i = t.checks.(i)
+
+let index_of t c = Hashtbl.find_opt t.index c
+
+let index_of_exn t c =
+  match index_of t c with
+  | Some i -> i
+  | None -> invalid_arg "Universe.index_of_exn: unregistered check"
+
+let family t i = t.families.(i)
+
+(* Build a frozen universe from the distinct checks of [checks].
+   Implication queries go through [cig], which the caller has already
+   populated with cross-family edges (e.g. from loop-limit substitution). *)
+let build ~cig ~mode (checks : Check.t list) : t =
+  let index = Hashtbl.create 64 in
+  let distinct =
+    List.filter
+      (fun c ->
+        if Hashtbl.mem index c then false
+        else begin
+          Hashtbl.replace index c (Hashtbl.length index);
+          true
+        end)
+      checks
+  in
+  let arr = Array.of_list distinct in
+  let n = Array.length arr in
+  let families = Array.map (Cig.family_of_check cig) arr in
+  let avail_gen = Array.init n (fun _ -> Bitset.create n) in
+  let ant_gen = Array.init n (fun _ -> Bitset.create n) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let same_fam = families.(i) = families.(j) in
+      let ci = Check.constant arr.(i) and cj = Check.constant arr.(j) in
+      let strong () =
+        Cig.as_strong_as cig ~strong:(families.(i), ci) ~weak:(families.(j), cj)
+      in
+      let avail_implies =
+        match mode with
+        | No_implications -> i = j
+        | Cross_family_only -> i = j || ((not same_fam) && strong ())
+        | All_implications -> strong ()
+      in
+      if avail_implies then Bitset.add avail_gen.(i) j;
+      let ant_implies =
+        match mode with
+        | No_implications | Cross_family_only -> i = j
+        | All_implications -> same_fam && ci <= cj
+      in
+      if ant_implies then Bitset.add ant_gen.(i) j
+    done
+  done;
+  let kills = Hashtbl.create 64 in
+  Array.iteri
+    (fun i c ->
+      List.iter
+        (fun key ->
+          let set =
+            match Hashtbl.find_opt kills key with
+            | Some s -> s
+            | None ->
+                let s = Bitset.create n in
+                Hashtbl.replace kills key s;
+                s
+          in
+          Bitset.add set i)
+        (Check.atom_keys c))
+    arr;
+  { cig; index; checks = arr; families; mode; avail_gen; ant_gen; kills }
+
+(* Set of checks made available by performing check [i]. *)
+let avail_gen t i = t.avail_gen.(i)
+
+(* Set of checks made anticipatable by performing check [i]. *)
+let ant_gen t i = t.ant_gen.(i)
+
+(* Set of checks whose range expression mentions the atom with key [k]
+   (i.e. killed by a definition of that atom). *)
+let killed_by_key t k =
+  match Hashtbl.find_opt t.kills k with
+  | Some s -> s
+  | None -> Bitset.create (size t)
+
+(* Does performing check [i] make check [j] redundant (availability
+   sense, mode-aware)? *)
+let implies_avail t i j = Bitset.mem t.avail_gen.(i) j
+
+let iter_checks f t = Array.iteri f t.checks
+
+let pp ppf t =
+  Array.iteri (fun i c -> Fmt.pf ppf "%d: %a@." i Check.pp c) t.checks

@@ -1,0 +1,28 @@
+(** Availability and anticipatability of checks (paper section 3.2).
+
+    Both are {e must} data-flow problems over a frozen check universe:
+    - availability (forward): a check statement generates itself and
+      all weaker checks (CIG-wide, mode-permitting); a definition of
+      any symbol of a check's range expression kills it;
+    - anticipatability (backward): generation is restricted to weaker
+      checks {e of the same family} — the paper's stronger condition
+      that keeps insertion points below the definitions of a check's
+      symbols. *)
+
+type env = { ctx : Checkctx.t; uni : Nascent_checks.Universe.t }
+
+val make_env : Checkctx.t -> env
+
+val n_checks : env -> int
+
+val instr_kills : env -> Nascent_ir.Types.instr -> Nascent_support.Bitset.t
+
+val availability : ?cond_gens:bool -> env -> Nascent_analysis.Dataflow.result
+(** Block-level availability. [cond_gens] makes a [Cond_check] generate
+    its check: off for global elimination (a guarded check is not
+    unconditionally performed), on inside the preheader pass, whose
+    guards are exactly loop-entry conditions. *)
+
+val anticipatability : ?cond_gens:bool -> env -> Nascent_analysis.Dataflow.result
+(** Block-level anticipatability; [result.in_] is ANTIN (block entry),
+    [result.out] ANTOUT. *)

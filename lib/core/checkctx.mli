@@ -1,0 +1,31 @@
+(** Per-function optimization context.
+
+    Bundles the function with its loop structure, a check implication
+    graph, the configured implication mode, and the two oracles every
+    analysis and placement pass consults:
+    - [site_check]: the {e analysis check} a check instruction denotes
+      (the instruction's own canonical check under PRX; the INX
+      pre-pass rewrites instructions in place, so it is the identity
+      there too);
+    - [instr_kill_keys] / [block_entry_kill_keys]: which atom keys an
+      instruction (or a block entry) invalidates. *)
+
+type t = {
+  func : Nascent_ir.Func.t;
+  loops : Nascent_analysis.Loops.loop list;  (** innermost-first *)
+  cig : Nascent_checks.Cig.t;
+  mode : Nascent_checks.Universe.mode;
+  site_check : Nascent_ir.Types.check_meta -> Nascent_checks.Check.t;
+  instr_kill_keys : Nascent_ir.Types.instr -> int list;
+  block_entry_kill_keys : int -> int list;
+}
+
+val create_prx : mode:Nascent_checks.Universe.mode -> Nascent_ir.Func.t -> t
+(** The standard context: site checks are the instructions' own
+    canonical checks; assignments kill their variable's atoms, stores
+    and calls kill load-bearing opaque atoms. *)
+
+val universe : t -> Nascent_checks.Universe.t
+(** Freeze the checks currently present in the function into a
+    {!Nascent_checks.Universe} (placement passes rebuild this after
+    inserting). *)

@@ -1,0 +1,67 @@
+(* Optimizer configuration: the axes of the paper's experiments. *)
+
+module Universe = Nascent_checks.Universe
+
+(* The seven check placement schemes of Table 2 (section 3.3/4.2),
+   plus MCM — the Markstein/Cocke/Markstein 1982 algorithm the paper's
+   related-work section proposes comparing against: preheader insertion
+   restricted to checks in articulation nodes of the loop body with
+   simple (single-variable) range expressions. *)
+type scheme =
+  | NI (* redundancy elimination, no insertion *)
+  | CS (* check strengthening *)
+  | LNI (* latest-not-isolated PRE placement *)
+  | SE (* safe-earliest PRE placement *)
+  | LI (* preheader insertion of loop-invariant checks *)
+  | LLS (* preheader insertion with loop-limit substitution *)
+  | ALL (* LLS followed by SE *)
+  | MCM (* Markstein et al.: articulation-node preheader insertion *)
+
+(* PRX-checks are built from program expressions; INX-checks from the
+   induction expressions of SSA-based induction variable analysis
+   (section 2.3). *)
+type check_kind = PRX | INX
+
+type t = {
+  scheme : scheme;
+  kind : check_kind;
+  impl : Universe.mode; (* Table 3's implication ablation axis *)
+}
+
+let default = { scheme = LLS; kind = PRX; impl = Universe.All_implications }
+
+let make ?(scheme = LLS) ?(kind = PRX) ?(impl = Universe.All_implications) () =
+  { scheme; kind; impl }
+
+let scheme_name = function
+  | NI -> "NI"
+  | CS -> "CS"
+  | LNI -> "LNI"
+  | SE -> "SE"
+  | LI -> "LI"
+  | LLS -> "LLS"
+  | ALL -> "ALL"
+  | MCM -> "MCM"
+
+let scheme_of_name = function
+  | "NI" | "ni" -> Some NI
+  | "CS" | "cs" -> Some CS
+  | "LNI" | "lni" -> Some LNI
+  | "SE" | "se" -> Some SE
+  | "LI" | "li" -> Some LI
+  | "LLS" | "lls" -> Some LLS
+  | "ALL" | "all" -> Some ALL
+  | "MCM" | "mcm" -> Some MCM
+  | _ -> None
+
+let kind_name = function PRX -> "PRX" | INX -> "INX"
+
+(* The paper's Table 2 rows. *)
+let all_schemes = [ NI; CS; LNI; SE; LI; LLS; ALL ]
+
+(* Everything the optimizer implements, including the MCM extension. *)
+let extended_schemes = all_schemes @ [ MCM ]
+
+let pp ppf t =
+  Fmt.pf ppf "%s/%s/%s" (scheme_name t.scheme) (kind_name t.kind)
+    (Universe.mode_name t.impl)

@@ -1,0 +1,44 @@
+(** Optimizer configuration: the axes of the paper's experiments. *)
+
+module Universe = Nascent_checks.Universe
+
+(** The seven check placement schemes of Table 2 (sections 3.3/4.2),
+    plus {!MCM} — the Markstein/Cocke/Markstein 1982 algorithm the
+    paper's related-work section proposes comparing against. *)
+type scheme =
+  | NI  (** redundancy elimination, no insertion *)
+  | CS  (** check strengthening (Gupta) *)
+  | LNI  (** latest-not-isolated PRE placement *)
+  | SE  (** safe-earliest PRE placement *)
+  | LI  (** preheader insertion of loop-invariant checks *)
+  | LLS  (** preheader insertion with loop-limit substitution *)
+  | ALL  (** LLS followed by SE *)
+  | MCM  (** articulation-node preheader insertion, simple checks only *)
+
+(** PRX-checks are built from program expressions; INX-checks from the
+    induction expressions of SSA-based induction variable analysis
+    (section 2.3). *)
+type check_kind = PRX | INX
+
+type t = {
+  scheme : scheme;
+  kind : check_kind;
+  impl : Universe.mode;  (** Table 3's implication ablation axis *)
+}
+
+val default : t
+(** LLS / PRX / all implications — the paper's winner. *)
+
+val make : ?scheme:scheme -> ?kind:check_kind -> ?impl:Universe.mode -> unit -> t
+
+val scheme_name : scheme -> string
+val scheme_of_name : string -> scheme option
+val kind_name : check_kind -> string
+
+val all_schemes : scheme list
+(** The paper's Table 2 rows (no MCM). *)
+
+val extended_schemes : scheme list
+(** Everything implemented, including the MCM extension. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,23 @@
+(** Steps 4 and 5 of the optimizer (paper section 3): eliminate checks
+    that are available (hence redundant), then fold compile-time
+    checks — true ones disappear, false ones become [TRAP] instructions
+    reported to the programmer. Every placement scheme ends with this
+    pass. *)
+
+type stats = {
+  mutable redundant_deleted : int;
+  mutable compile_time_deleted : int;
+  mutable compile_time_traps : int;
+}
+
+val new_stats : unit -> stats
+
+val redundancy_elimination : Analyses.env -> stats -> unit
+(** Step 4: one forward scan per block seeded with block-entry
+    availability; a check instruction whose check is covered by an
+    available one is deleted, otherwise it generates. *)
+
+val compile_time_checks : Nascent_ir.Func.t -> stats -> unit
+(** Step 5; also folds constant conditional-check guards. *)
+
+val run : Checkctx.t -> stats

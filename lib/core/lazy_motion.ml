@@ -1,0 +1,204 @@
+(* PRE placement of checks: the safe-earliest and latest-not-isolated
+   transformations of Knoop, Rüthing & Steffen ("Lazy Code Motion"),
+   adapted to range checks (paper sections 2.1 and 3.3).
+
+   Differences from arithmetic PRE, per the paper:
+   - a check defines no value, so there is nothing to rewire — the pass
+     only *inserts* checks at the chosen edges; the shared elimination
+     pass afterwards deletes everything that became redundant;
+   - generation is implication-aware: an occurrence of a strong check
+     locally anticipates/computes its weaker family members;
+   - safety = down-safety (anticipatability): inserting a check where a
+     check at least as strong is anticipatable can only move the trap
+     earlier, never invent one.
+
+   Safe-earliest (SE) inserts at the EARLIEST edges; latest-not-isolated
+   (LNI) delays insertions as long as profitable (LATER system) —
+   pointless for register pressure here (checks produce no value,
+   section 3.3) but measured by the paper, so both are implemented.
+
+   Critical edges are split before the edge systems are solved. *)
+
+module Ir = Nascent_ir
+module Bitset = Nascent_support.Bitset
+module Universe = Nascent_checks.Universe
+module Dataflow = Nascent_analysis.Dataflow
+open Ir.Types
+
+type placement = Safe_earliest | Latest_not_isolated
+
+type stats = { mutable inserted : int }
+
+(* Local predicates per block:
+   ANTLOC — check locally anticipatable (performed before any kill);
+   COMP   — check locally available at block end (performed, not killed after);
+   TRANSP — block does not kill the check. *)
+type local = { antloc : Bitset.t; comp : Bitset.t; transp : Bitset.t }
+
+let locals (env : Analyses.env) (b : block) : local =
+  let ctx = env.Analyses.ctx in
+  let uni = env.Analyses.uni in
+  let n = Universe.size uni in
+  let antloc = Bitset.create n and comp = Bitset.create n in
+  let killed = Bitset.create n in
+  let kill_of i =
+    let k = Bitset.create n in
+    List.iter
+      (fun key -> Bitset.union_into ~into:k (Universe.killed_by_key uni key))
+      (ctx.Checkctx.instr_kill_keys i);
+    k
+  in
+  (* entry kills count as kills-before-everything for ANTLOC *)
+  List.iter
+    (fun key -> Bitset.union_into ~into:killed (Universe.killed_by_key uni key))
+    (ctx.Checkctx.block_entry_kill_keys b.bid);
+  List.iter
+    (fun i ->
+      (match i with
+      | Check m -> (
+          match Universe.index_of uni (ctx.Checkctx.site_check m) with
+          | None -> ()
+          | Some j ->
+              let g = Bitset.copy (Universe.ant_gen uni j) in
+              Bitset.diff_into ~into:g killed;
+              Bitset.union_into ~into:antloc g)
+      | _ -> ());
+      Bitset.union_into ~into:killed (kill_of i))
+    b.instrs;
+  (* backward scan for COMP *)
+  Bitset.clear killed;
+  List.iter
+    (fun i ->
+      (match i with
+      | Check m -> (
+          match Universe.index_of uni (ctx.Checkctx.site_check m) with
+          | None -> ()
+          | Some j ->
+              let g = Bitset.copy (Universe.avail_gen uni j) in
+              Bitset.diff_into ~into:g killed;
+              Bitset.union_into ~into:comp g)
+      | _ -> ());
+      Bitset.union_into ~into:killed (kill_of i))
+    (List.rev b.instrs);
+  let transp = Bitset.full n in
+  List.iter (fun i -> Bitset.diff_into ~into:transp (kill_of i)) b.instrs;
+  List.iter
+    (fun key -> Bitset.diff_into ~into:transp (Universe.killed_by_key uni key))
+    (ctx.Checkctx.block_entry_kill_keys b.bid);
+  { antloc; comp; transp }
+
+(* Insert the checks of [set] on edge (m, n). Because critical edges
+   were split, either m has a single successor (append before its
+   terminator) or n has a single predecessor (prepend). Within a family
+   the strongest check is inserted first, so elimination keeps only it. *)
+let insert_on_edge (env : Analyses.env) preds (st : stats) m n (set : Bitset.t) =
+  if not (Bitset.is_empty set) then begin
+    let uni = env.Analyses.uni in
+    let f = env.Analyses.ctx.Checkctx.func in
+    let checks =
+      Bitset.elements set
+      |> List.map (fun j -> Universe.check uni j)
+      |> List.sort Nascent_checks.Check.compare
+    in
+    let instrs =
+      List.map
+        (fun c ->
+          Check { chk = c; src_array = "<pre>"; src_dim = 0; kind = Upper })
+        checks
+    in
+    st.inserted <- st.inserted + List.length instrs;
+    if m = -1 then begin
+      (* virtual entry edge: insert at the top of the entry block *)
+      let nb = Ir.Func.block f n in
+      nb.instrs <- instrs @ nb.instrs
+    end
+    else begin
+      let mb = Ir.Func.block f m and nb = Ir.Func.block f n in
+      if Ir.Func.succs f m = [ n ] then mb.instrs <- mb.instrs @ instrs
+      else if List.length preds.(n) = 1 then nb.instrs <- instrs @ nb.instrs
+      else
+        (* Cannot happen after critical-edge splitting. *)
+        invalid_arg "Lazy_motion.insert_on_edge: unsplit critical edge"
+    end
+  end
+
+let run (ctx : Checkctx.t) ~(placement : placement) : stats =
+  let st = { inserted = 0 } in
+  let f = ctx.Checkctx.func in
+  ignore (Ir.Func.split_critical_edges f);
+  (* Splitting added blocks: recompute loops lazily by rebuilding the
+     env (the context's loop list is only used by the preheader pass,
+     which runs on its own context). *)
+  let env = Analyses.make_env ctx in
+  let uni = env.Analyses.uni in
+  let n = Universe.size uni in
+  let nb = Ir.Func.num_blocks f in
+  let loc = Array.init nb (fun bid -> locals env (Ir.Func.block f bid)) in
+  (* Down-safety (anticipatability) and up-safety (availability). *)
+  let ant = Analyses.anticipatability env in
+  let av = Analyses.availability env in
+  let preds = Ir.Func.preds_array f in
+  let entry = f.Ir.Func.entry in
+  (* EARLIEST(m,n) = ANTIN(n) ∧ ¬AVOUT(m) ∧ (¬TRANSP(m) ∨ ¬ANTOUT(m));
+     m = -1 is the virtual edge into the entry block, where nothing is
+     available and nothing can move higher. *)
+  let earliest m nd =
+    let e = Bitset.copy ant.Dataflow.in_.(nd) in
+    if m <> -1 then begin
+      Bitset.diff_into ~into:e av.Dataflow.out.(m);
+      let blocked = Bitset.copy loc.(m).transp in
+      Bitset.inter_into ~into:blocked ant.Dataflow.out.(m);
+      (* blocked = TRANSP(m) ∧ ANTOUT(m): placement can still move up *)
+      Bitset.diff_into ~into:e blocked
+    end;
+    e
+  in
+  let edges =
+    (-1, entry)
+    :: List.concat_map
+         (fun m -> List.map (fun nd -> (m, nd)) (Ir.Func.succs f m))
+         (Ir.Func.rpo f)
+  in
+  (match placement with
+  | Safe_earliest ->
+      List.iter (fun (m, nd) -> insert_on_edge env preds st m nd (earliest m nd)) edges
+  | Latest_not_isolated ->
+      (* LATER system (Knoop et al. 92):
+         LATERIN(n) = ∧_{(m,n)} LATER(m,n)   (entry: ∅)
+         LATER(m,n) = EARLIEST(m,n) ∨ (LATERIN(m) ∧ ¬ANTLOC(m))
+         INSERT(m,n) = LATER(m,n) ∧ ¬LATERIN(n) *)
+      let laterin = Array.init nb (fun _ -> Bitset.full n) in
+      (* the entry block's only incoming edge is the virtual one *)
+      Bitset.assign ~into:laterin.(entry) (earliest (-1) entry);
+      let later (m, nd) =
+        let l = earliest m nd in
+        if m <> -1 then begin
+          let pass = Bitset.copy laterin.(m) in
+          Bitset.diff_into ~into:pass loc.(m).antloc;
+          Bitset.union_into ~into:l pass
+        end;
+        l
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun nd ->
+            if nd <> entry then begin
+              let v = Bitset.full n in
+              List.iter (fun m -> Bitset.inter_into ~into:v (later (m, nd))) preds.(nd);
+              if preds.(nd) = [] then Bitset.clear v;
+              if not (Bitset.equal v laterin.(nd)) then begin
+                Bitset.assign ~into:laterin.(nd) v;
+                changed := true
+              end
+            end)
+          (Ir.Func.rpo f)
+      done;
+      List.iter
+        (fun (m, nd) ->
+          let ins = later (m, nd) in
+          Bitset.diff_into ~into:ins laterin.(nd);
+          insert_on_edge env preds st m nd ins)
+        edges);
+  st

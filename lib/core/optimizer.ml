@@ -1,0 +1,157 @@
+(* The five-step range check optimizer (paper section 3):
+
+   1. construct the check implication graph     — {!Nascent_checks.Cig},
+      built implicitly as families are interned;
+   2. compute safe insertion points             — {!Analyses.anticipatability};
+   3. insert checks per the configured scheme   — {!Strengthen},
+      {!Lazy_motion}, {!Preheader};
+   4. compute availability, eliminate redundant — {!Eliminate};
+   5. evaluate compile-time checks              — {!Eliminate.compile_time_checks}.
+
+   The input program is not modified: optimization runs on a copy. *)
+
+module Ir = Nascent_ir
+
+type stats = {
+  config : Config.t;
+  strengthened : int;
+  pre_inserted : int;
+  hoisted_invariant : int;
+  hoisted_linear : int;
+  guards_inserted : int;
+  plain_inserted : int;
+  redundant_deleted : int;
+  compile_time_deleted : int;
+  compile_time_traps : int;
+  static_checks_before : int;
+  static_checks_after : int;
+  elapsed_s : float; (* wall-clock optimization time, Table 2/3's Range column *)
+}
+
+let empty_stats config =
+  {
+    config;
+    strengthened = 0;
+    pre_inserted = 0;
+    hoisted_invariant = 0;
+    hoisted_linear = 0;
+    guards_inserted = 0;
+    plain_inserted = 0;
+    redundant_deleted = 0;
+    compile_time_deleted = 0;
+    compile_time_traps = 0;
+    static_checks_before = 0;
+    static_checks_after = 0;
+    elapsed_s = 0.0;
+  }
+
+let add a b =
+  {
+    a with
+    strengthened = a.strengthened + b.strengthened;
+    pre_inserted = a.pre_inserted + b.pre_inserted;
+    hoisted_invariant = a.hoisted_invariant + b.hoisted_invariant;
+    hoisted_linear = a.hoisted_linear + b.hoisted_linear;
+    guards_inserted = a.guards_inserted + b.guards_inserted;
+    plain_inserted = a.plain_inserted + b.plain_inserted;
+    redundant_deleted = a.redundant_deleted + b.redundant_deleted;
+    compile_time_deleted = a.compile_time_deleted + b.compile_time_deleted;
+    compile_time_traps = a.compile_time_traps + b.compile_time_traps;
+    static_checks_before = a.static_checks_before + b.static_checks_before;
+    static_checks_after = a.static_checks_after + b.static_checks_after;
+    elapsed_s = a.elapsed_s +. b.elapsed_s;
+  }
+
+(* Optimize one function in place. *)
+let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
+  let t0 = Unix.gettimeofday () in
+  let _, checks_before = Ir.Func.static_counts f in
+  (* INX: rewrite checks into induction-expression form first, so every
+     later pass sees induction checks (section 2.3). *)
+  if config.Config.kind = Config.INX then ignore (Induction_rewrite.run f);
+  let fresh_ctx () = Checkctx.create_prx ~mode:config.Config.impl f in
+  let st = ref (empty_stats config) in
+  (match config.Config.scheme with
+  | Config.NI -> ()
+  | Config.CS ->
+      let s = Strengthen.run (fresh_ctx ()) in
+      st := { !st with strengthened = s.Strengthen.strengthened }
+  | Config.SE ->
+      let s = Lazy_motion.run (fresh_ctx ()) ~placement:Lazy_motion.Safe_earliest in
+      st := { !st with pre_inserted = s.Lazy_motion.inserted }
+  | Config.LNI ->
+      let s = Lazy_motion.run (fresh_ctx ()) ~placement:Lazy_motion.Latest_not_isolated in
+      st := { !st with pre_inserted = s.Lazy_motion.inserted }
+  | Config.LI ->
+      let s = Preheader.run (fresh_ctx ()) ~variant:Preheader.Invariant_only in
+      st :=
+        {
+          !st with
+          hoisted_invariant = s.Preheader.hoisted_invariant;
+          guards_inserted = s.Preheader.guards_inserted;
+          plain_inserted = s.Preheader.plain_inserted;
+        }
+  | Config.LLS ->
+      let s = Preheader.run (fresh_ctx ()) ~variant:Preheader.Loop_limit in
+      st :=
+        {
+          !st with
+          hoisted_invariant = s.Preheader.hoisted_invariant;
+          hoisted_linear = s.Preheader.hoisted_linear;
+          guards_inserted = s.Preheader.guards_inserted;
+          plain_inserted = s.Preheader.plain_inserted;
+        }
+  | Config.MCM ->
+      let s = Preheader.run (fresh_ctx ()) ~variant:Preheader.Markstein in
+      st :=
+        {
+          !st with
+          hoisted_invariant = s.Preheader.hoisted_invariant;
+          hoisted_linear = s.Preheader.hoisted_linear;
+          guards_inserted = s.Preheader.guards_inserted;
+          plain_inserted = s.Preheader.plain_inserted;
+        }
+  | Config.ALL ->
+      let s1 = Preheader.run (fresh_ctx ()) ~variant:Preheader.Loop_limit in
+      let s2 = Lazy_motion.run (fresh_ctx ()) ~placement:Lazy_motion.Safe_earliest in
+      st :=
+        {
+          !st with
+          hoisted_invariant = s1.Preheader.hoisted_invariant;
+          hoisted_linear = s1.Preheader.hoisted_linear;
+          guards_inserted = s1.Preheader.guards_inserted;
+          plain_inserted = s1.Preheader.plain_inserted;
+          pre_inserted = s2.Lazy_motion.inserted;
+        });
+  let e = Eliminate.run (fresh_ctx ()) in
+  let _, checks_after = Ir.Func.static_counts f in
+  {
+    !st with
+    redundant_deleted = e.Eliminate.redundant_deleted;
+    compile_time_deleted = e.Eliminate.compile_time_deleted;
+    compile_time_traps = e.Eliminate.compile_time_traps;
+    static_checks_before = checks_before;
+    static_checks_after = checks_after;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+(* Optimize a whole program, returning the optimized copy and the
+   aggregated statistics. *)
+let optimize ?(config = Config.default) (p : Ir.Program.t) : Ir.Program.t * stats =
+  let q = Ir.Transform.copy_program p in
+  let st = ref (empty_stats config) in
+  List.iter (fun f -> st := add !st (optimize_func config f)) (Ir.Program.funcs_sorted q);
+  (q, !st)
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "@[<v>config: %a@,\
+     static checks: %d -> %d@,\
+     strengthened: %d, PRE-inserted: %d@,\
+     hoisted: %d invariant + %d linear (%d cond + %d plain inserted)@,\
+     deleted: %d redundant + %d compile-time (%d traps)@,\
+     time: %.4fs@]"
+    Config.pp s.config s.static_checks_before s.static_checks_after s.strengthened
+    s.pre_inserted s.hoisted_invariant s.hoisted_linear s.guards_inserted
+    s.plain_inserted s.redundant_deleted s.compile_time_deleted s.compile_time_traps
+    s.elapsed_s

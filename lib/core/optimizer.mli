@@ -1,0 +1,47 @@
+(** The five-step range check optimizer (paper section 3):
+
+    + construct the check implication graph ({!Nascent_checks.Cig},
+      built implicitly as families are interned);
+    + compute safe insertion points ({!Analyses.anticipatability});
+    + insert checks per the configured scheme ({!Strengthen},
+      {!Lazy_motion}, {!Preheader});
+    + compute availability and eliminate redundant checks
+      ({!Eliminate});
+    + evaluate compile-time checks
+      ({!Eliminate.compile_time_checks}).
+
+    Behaviour preservation (enforced by the test suite on the full
+    benchmark matrix and on random programs): the optimized program
+    traps iff the original does and no later, prints the same values,
+    and — for the non-PRE schemes — never performs more dynamic
+    checks. *)
+
+type stats = {
+  config : Config.t;
+  strengthened : int;
+  pre_inserted : int;
+  hoisted_invariant : int;
+  hoisted_linear : int;
+  guards_inserted : int;
+  plain_inserted : int;
+  redundant_deleted : int;
+  compile_time_deleted : int;
+  compile_time_traps : int;
+  static_checks_before : int;
+  static_checks_after : int;
+  elapsed_s : float;
+      (** wall-clock optimization time — Table 2/3's "Range" column *)
+}
+
+val empty_stats : Config.t -> stats
+val add : stats -> stats -> stats
+
+val optimize_func : Config.t -> Nascent_ir.Func.t -> stats
+(** Optimize one function in place. *)
+
+val optimize :
+  ?config:Config.t -> Nascent_ir.Program.t -> Nascent_ir.Program.t * stats
+(** Optimize a whole program. The input is not modified: optimization
+    runs on a copy, which is returned with aggregated statistics. *)
+
+val pp_stats : stats Fmt.t

@@ -1,0 +1,121 @@
+(* Abstract syntax of MiniF, the Fortran-like source language.
+
+   MiniF covers exactly the constructs the range-check optimizer cares
+   about: multi-dimensional arrays with declared bounds, counted [do]
+   loops, [while] loops (which defeat safe-earliest placement, paper
+   section 3.3), conditionals, and subroutines. *)
+
+type ty = TInt | TReal
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+(* Intrinsic functions; these names cannot be used as arrays. *)
+type intrinsic = Imod | Imin | Imax | Iabs
+
+type expr = { desc : expr_desc; loc : Srcloc.t }
+
+and expr_desc =
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Var of string
+  | Index of string * expr list (* array element read: a(i, j) *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Intrinsic of intrinsic * expr list
+
+type stmt = { sdesc : stmt_desc; sloc : Srcloc.t }
+
+and stmt_desc =
+  | Assign of string * expr
+  | Store of string * expr list * expr (* a(i, j) = e *)
+  | If of expr * stmt list * stmt list
+  | Do of do_loop
+  | While of expr * stmt list
+  | Call of string * expr list
+  | Print of expr
+  | Return
+
+and do_loop = {
+  index : string;
+  lo : expr;
+  hi : expr;
+  step : expr option; (* defaults to 1 *)
+  body : stmt list;
+}
+
+(* One dimension of an array declaration; Fortran default lower bound 1. *)
+type dim = { dlo : expr option; dhi : expr }
+
+type decl = {
+  dname : string;
+  dty : ty;
+  ddims : dim list; (* [] for scalars *)
+  dloc : Srcloc.t;
+}
+
+type unit_kind = Main | Subroutine of string list (* parameter names *)
+
+type comp_unit = {
+  uname : string;
+  ukind : unit_kind;
+  udecls : decl list;
+  ubody : stmt list;
+  uloc : Srcloc.t;
+}
+
+type program = { units : comp_unit list }
+
+let intrinsic_of_string = function
+  | "mod" -> Some Imod
+  | "min" -> Some Imin
+  | "max" -> Some Imax
+  | "abs" -> Some Iabs
+  | _ -> None
+
+let intrinsic_name = function
+  | Imod -> "mod"
+  | Imin -> "min"
+  | Imax -> "max"
+  | Iabs -> "abs"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let rec pp_expr ppf (e : expr) =
+  match e.desc with
+  | Int n -> Fmt.int ppf n
+  | Real f -> Fmt.float ppf f
+  | Bool b -> Fmt.bool ppf b
+  | Var v -> Fmt.string ppf v
+  | Index (a, idxs) -> Fmt.pf ppf "%s(%a)" a Fmt.(list ~sep:comma pp_expr) idxs
+  | Unary (Neg, e) -> Fmt.pf ppf "(-%a)" pp_expr e
+  | Unary (Not, e) -> Fmt.pf ppf "(not %a)" pp_expr e
+  | Binary (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Intrinsic (i, args) ->
+      Fmt.pf ppf "%s(%a)" (intrinsic_name i) Fmt.(list ~sep:comma pp_expr) args

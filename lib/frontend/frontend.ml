@@ -1,0 +1,32 @@
+(* Top-level frontend entry points. *)
+
+type error =
+  | Lex_error of string * Srcloc.pos
+  | Parse_error of string * Srcloc.pos
+  | Sema_errors of Sema.error list
+
+let pp_error ppf = function
+  | Lex_error (msg, pos) -> Fmt.pf ppf "lex error at %d:%d: %s" pos.Srcloc.line pos.Srcloc.col msg
+  | Parse_error (msg, pos) ->
+      Fmt.pf ppf "parse error at %d:%d: %s" pos.Srcloc.line pos.Srcloc.col msg
+  | Sema_errors es -> Fmt.pf ppf "@[<v>%a@]" (Fmt.list Sema.pp_error) es
+
+let parse src : (Ast.program, error) result =
+  match Parser.parse_program src with
+  | prog -> Ok prog
+  | exception Lexer.Error (msg, pos) -> Error (Lex_error (msg, pos))
+  | exception Parser.Error (msg, pos) -> Error (Parse_error (msg, pos))
+
+(* Parse and type-check; the usual entry point. *)
+let analyze src : (Ast.program * Sema.env, error) result =
+  match parse src with
+  | Error e -> Error e
+  | Ok prog -> (
+      match Sema.check prog with
+      | Ok env -> Ok (prog, env)
+      | Error es -> Error (Sema_errors es))
+
+let analyze_exn src =
+  match analyze src with
+  | Ok r -> r
+  | Error e -> failwith (Fmt.str "%a" pp_error e)

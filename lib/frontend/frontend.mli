@@ -1,0 +1,17 @@
+(** Top-level frontend entry points: MiniF source to checked AST. *)
+
+type error =
+  | Lex_error of string * Srcloc.pos
+  | Parse_error of string * Srcloc.pos
+  | Sema_errors of Sema.error list
+
+val pp_error : error Fmt.t
+
+val parse : string -> (Ast.program, error) result
+(** Lex and parse only. *)
+
+val analyze : string -> (Ast.program * Sema.env, error) result
+(** Parse and type-check; the usual entry point. *)
+
+val analyze_exn : string -> Ast.program * Sema.env
+(** @raise Failure with a rendered message on any error. *)

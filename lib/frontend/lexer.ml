@@ -1,0 +1,154 @@
+(* Hand-written lexer for MiniF.
+
+   Newlines are not significant; `!` and `#` start line comments.
+   Identifiers and keywords are case-insensitive (lowered on read),
+   matching Fortran convention. *)
+
+exception Error of string * Srcloc.pos
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+
+let cur_pos lx : Srcloc.pos = { line = lx.line; col = lx.col }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some ('!' | '#') ->
+      let rec to_eol () =
+        match peek lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | _ -> ()
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let lex_number lx =
+  let start = lx.pos in
+  let rec digits () =
+    match peek lx with
+    | Some c when is_digit c ->
+        advance lx;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  let is_real =
+    (* A '.' starts a fraction only when followed by a digit, so `1.` in a
+       dim spec like `a(1:n)` can never arise (we require digits). *)
+    match (peek lx, peek2 lx) with
+    | Some '.', Some d when is_digit d ->
+        advance lx;
+        digits ();
+        (match peek lx with
+        | Some ('e' | 'E') ->
+            advance lx;
+            (match peek lx with
+            | Some ('+' | '-') -> advance lx
+            | _ -> ());
+            digits ()
+        | _ -> ());
+        true
+    | _ -> false
+  in
+  let text = String.sub lx.src start (lx.pos - start) in
+  if is_real then Token.REAL (float_of_string text)
+  else Token.INT (int_of_string text)
+
+let lex_ident lx =
+  let start = lx.pos in
+  let rec go () =
+    match peek lx with
+    | Some c when is_alnum c ->
+        advance lx;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.lowercase_ascii (String.sub lx.src start (lx.pos - start)) in
+  match Token.keyword_of_string text with
+  | Some kw -> kw
+  | None -> Token.IDENT text
+
+(* Returns the next token together with its start position. *)
+let next lx : Token.t * Srcloc.pos =
+  skip_ws lx;
+  let pos = cur_pos lx in
+  match peek lx with
+  | None -> (Token.EOF, pos)
+  | Some c ->
+      let tok =
+        if is_digit c then lex_number lx
+        else if is_alpha c then lex_ident lx
+        else begin
+          advance lx;
+          match c with
+          | '+' -> Token.PLUS
+          | '-' -> Token.MINUS
+          | '*' -> Token.STAR
+          | '/' -> (
+              match peek lx with
+              | Some '=' ->
+                  advance lx;
+                  Token.NE
+              | _ -> Token.SLASH)
+          | '=' -> Token.EQ
+          | '<' -> (
+              match peek lx with
+              | Some '=' ->
+                  advance lx;
+                  Token.LE
+              | _ -> Token.LT)
+          | '>' -> (
+              match peek lx with
+              | Some '=' ->
+                  advance lx;
+                  Token.GE
+              | _ -> Token.GT)
+          | '(' -> Token.LPAREN
+          | ')' -> Token.RPAREN
+          | ',' -> Token.COMMA
+          | ':' -> Token.COLON
+          | c -> raise (Error (Printf.sprintf "unexpected character %C" c, pos))
+        end
+      in
+      (tok, pos)
+
+let tokenize src =
+  let lx = make src in
+  let rec go acc =
+    let tok, pos = next lx in
+    match tok with
+    | Token.EOF -> List.rev ((tok, pos) :: acc)
+    | _ -> go ((tok, pos) :: acc)
+  in
+  go []

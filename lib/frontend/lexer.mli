@@ -1,0 +1,20 @@
+(** Hand-written lexer for MiniF.
+
+    Newlines are not significant; [!] and [#] start line comments;
+    identifiers and keywords are case-insensitive (Fortran
+    convention). *)
+
+exception Error of string * Srcloc.pos
+
+type t
+
+val make : string -> t
+
+val next : t -> Token.t * Srcloc.pos
+(** The next token and its start position; returns [EOF] at the end
+    (repeatedly).
+    @raise Error on an unexpected character. *)
+
+val tokenize : string -> (Token.t * Srcloc.pos) list
+(** The whole token stream, ending with [EOF].
+    @raise Error on an unexpected character. *)

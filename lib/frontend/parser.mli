@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MiniF. The grammar is LL(2): only
+    distinguishing [x = e] from [a(i) = e] needs the second token. *)
+
+exception Error of string * Srcloc.pos
+
+val parse_program : string -> Ast.program
+(** @raise Error on a syntax error, {!Lexer.Error} on a lexical one. *)

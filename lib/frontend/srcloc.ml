@@ -1,0 +1,13 @@
+(* Source positions and spans for diagnostics. *)
+
+type pos = { line : int; col : int }
+
+type t = { start : pos; stop : pos }
+
+let dummy = { start = { line = 0; col = 0 }; stop = { line = 0; col = 0 } }
+
+let make ~start ~stop = { start; stop }
+
+let merge a b = { start = a.start; stop = b.stop }
+
+let pp ppf { start; _ } = Fmt.pf ppf "%d:%d" start.line start.col

@@ -1,0 +1,107 @@
+(* Tokens of the MiniF language. *)
+
+type t =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  | KW_PROGRAM
+  | KW_SUBROUTINE
+  | KW_INTEGER
+  | KW_REAL
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_ENDIF
+  | KW_DO
+  | KW_ENDDO
+  | KW_WHILE
+  | KW_ENDWHILE
+  | KW_CALL
+  | KW_PRINT
+  | KW_RETURN
+  | KW_END
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_TRUE
+  | KW_FALSE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ (* = : both assignment and equality, disambiguated by context *)
+  | NE (* /= *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | EOF
+
+let keyword_of_string = function
+  | "program" -> Some KW_PROGRAM
+  | "subroutine" -> Some KW_SUBROUTINE
+  | "integer" -> Some KW_INTEGER
+  | "real" -> Some KW_REAL
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "endif" -> Some KW_ENDIF
+  | "do" -> Some KW_DO
+  | "enddo" -> Some KW_ENDDO
+  | "while" -> Some KW_WHILE
+  | "endwhile" -> Some KW_ENDWHILE
+  | "call" -> Some KW_CALL
+  | "print" -> Some KW_PRINT
+  | "return" -> Some KW_RETURN
+  | "end" -> Some KW_END
+  | "and" -> Some KW_AND
+  | "or" -> Some KW_OR
+  | "not" -> Some KW_NOT
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let to_string = function
+  | INT n -> string_of_int n
+  | REAL f -> string_of_float f
+  | IDENT s -> s
+  | KW_PROGRAM -> "program"
+  | KW_SUBROUTINE -> "subroutine"
+  | KW_INTEGER -> "integer"
+  | KW_REAL -> "real"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_ENDIF -> "endif"
+  | KW_DO -> "do"
+  | KW_ENDDO -> "enddo"
+  | KW_WHILE -> "while"
+  | KW_ENDWHILE -> "endwhile"
+  | KW_CALL -> "call"
+  | KW_PRINT -> "print"
+  | KW_RETURN -> "return"
+  | KW_END -> "end"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | KW_NOT -> "not"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NE -> "/="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | COLON -> ":"
+  | EOF -> "<eof>"

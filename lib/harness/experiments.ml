@@ -1,0 +1,208 @@
+(* Experiment harness: computes the data behind the paper's Tables 1-3
+   over the 10-program MiniF suite.
+
+   Measurements mirror the paper's methodology:
+   - dynamic counts come from the instrumented interpreter (the paper's
+     instrumented-C back-end);
+   - "% of checks eliminated" is relative to the dynamic check count of
+     the naively checked program;
+   - the "Range" column is the wall-clock time of the range-check
+     optimization phase, and "Nascent" the whole compile (parse +
+     semantic analysis + lowering + optimization), both summed over the
+     suite. *)
+
+module B = Nascent_benchmarks.Suite
+module Ir = Nascent_ir
+module Core = Nascent_core
+module Config = Core.Config
+module Universe = Nascent_checks.Universe
+module Loops = Nascent_analysis.Loops
+module Run = Nascent_interp.Run
+
+(* --- Table 1: program characteristics -------------------------------- *)
+
+type characteristics = {
+  bench : B.benchmark;
+  ir : Ir.Program.t; (* naive-checked IR *)
+  lines : int;
+  subroutines : int;
+  loops : int;
+  static_instrs : int;
+  static_checks : int;
+  dyn_instrs : int; (* of the program without any checks *)
+  dyn_checks : int; (* of the naively checked program *)
+}
+
+let characterize (bench : B.benchmark) : characteristics =
+  let ir = Ir.Lower.of_source bench.B.source in
+  let funcs = Ir.Program.funcs_sorted ir in
+  let subroutines = List.length funcs in
+  let loops =
+    List.fold_left (fun acc f -> acc + List.length (Loops.compute f)) 0 funcs
+  in
+  let static_instrs, static_checks = Ir.Program.static_counts ir in
+  let bare = Ir.Transform.strip_checks ir in
+  let o_bare = Run.run bare in
+  let o_naive = Run.run ir in
+  (match (o_naive.Run.trap, o_naive.Run.error) with
+  | None, None -> ()
+  | Some t, _ -> invalid_arg (bench.B.name ^ " traps under naive checking: " ^ t)
+  | _, Some e -> invalid_arg (bench.B.name ^ " errors: " ^ e));
+  {
+    bench;
+    ir;
+    lines = B.line_count bench;
+    subroutines;
+    loops;
+    static_instrs;
+    static_checks;
+    dyn_instrs = o_bare.Run.instrs;
+    dyn_checks = o_naive.Run.checks;
+  }
+
+let characterize_all () = List.map characterize B.all
+
+(* --- Tables 2 and 3: per-configuration runs -------------------------- *)
+
+type cell = {
+  pct_eliminated : float;
+  dyn_checks_after : int;
+  range_time_s : float; (* optimization phase *)
+  compile_time_s : float; (* parse + lower + optimize *)
+}
+
+let run_config (c : characteristics) (config : Config.t) : cell =
+  let t0 = Unix.gettimeofday () in
+  let ir = Ir.Lower.of_source c.bench.B.source in
+  let opt, stats = Core.Optimizer.optimize ~config ir in
+  let compile_time_s = Unix.gettimeofday () -. t0 in
+  let o = Run.run opt in
+  (match (o.Run.trap, o.Run.error) with
+  | None, None -> ()
+  | Some t, _ ->
+      invalid_arg
+        (Fmt.str "%s traps under %a: %s" c.bench.B.name Config.pp config t)
+  | _, Some e -> invalid_arg (Fmt.str "%s errors under %a: %s" c.bench.B.name Config.pp config e));
+  let eliminated = c.dyn_checks - o.Run.checks in
+  {
+    pct_eliminated = 100.0 *. float_of_int eliminated /. float_of_int c.dyn_checks;
+    dyn_checks_after = o.Run.checks;
+    range_time_s = stats.Core.Optimizer.elapsed_s;
+    compile_time_s;
+  }
+
+(* A table row: one (scheme, kind, impl) configuration across all
+   programs, plus summed times. *)
+type row = {
+  label : string;
+  config : Config.t;
+  cells : cell list; (* one per program, suite order *)
+  total_range_s : float;
+  total_compile_s : float;
+}
+
+let run_row ?label (chars : characteristics list) (config : Config.t) : row =
+  let cells = List.map (fun c -> run_config c config) chars in
+  {
+    label =
+      (match label with Some l -> l | None -> Config.scheme_name config.Config.scheme);
+    config;
+    cells;
+    total_range_s = List.fold_left (fun a c -> a +. c.range_time_s) 0.0 cells;
+    total_compile_s = List.fold_left (fun a c -> a +. c.compile_time_s) 0.0 cells;
+  }
+
+(* Table 2: the seven placement schemes x {PRX, INX}, full implications. *)
+let table2 ?(kinds = [ Config.PRX; Config.INX ]) (chars : characteristics list) :
+    (Config.check_kind * row list) list =
+  List.map
+    (fun kind ->
+      ( kind,
+        List.map
+          (fun scheme -> run_row chars (Config.make ~scheme ~kind ()))
+          Config.all_schemes ))
+    kinds
+
+(* Table 3: implication ablation — NI/NI', SE/SE' (no implications at
+   all) and LLS/LLS' (cross-family only). *)
+let table3 ?(kinds = [ Config.PRX; Config.INX ]) (chars : characteristics list) :
+    (Config.check_kind * row list) list =
+  let variants =
+    [
+      ("NI", Config.NI, Universe.All_implications);
+      ("NI'", Config.NI, Universe.No_implications);
+      ("SE", Config.SE, Universe.All_implications);
+      ("SE'", Config.SE, Universe.No_implications);
+      ("LLS", Config.LLS, Universe.All_implications);
+      ("LLS'", Config.LLS, Universe.Cross_family_only);
+    ]
+  in
+  List.map
+    (fun kind ->
+      ( kind,
+        List.map
+          (fun (label, scheme, impl) ->
+            run_row ~label chars (Config.make ~scheme ~kind ~impl ()))
+          variants ))
+    kinds
+
+(* Extension experiment (paper section 5): the comparison the paper
+   proposes — Markstein/Cocke/Markstein's restricted preheader
+   insertion vs LI and LLS. *)
+let extensions (chars : characteristics list) : (Config.check_kind * row list) list =
+  [
+    ( Config.PRX,
+      List.map
+        (fun scheme -> run_row chars (Config.make ~scheme ()))
+        [ Config.LI; Config.MCM; Config.LLS ] );
+  ]
+
+(* --- canonical-form ablation (design decision 1 in DESIGN.md) --------- *)
+
+(* How much does gcd-normalizing the canonical form shrink the check
+   population? Counts distinct canonical checks and families across the
+   suite, with and without the gcd rule. *)
+type canon_ablation = {
+  distinct_checks : int;
+  distinct_checks_gcd : int;
+  families : int;
+  families_gcd : int;
+}
+
+let canon_ablation (chars : characteristics list) : canon_ablation =
+  let module Check = Nascent_checks.Check in
+  let module CS = Set.Make (struct
+    type t = Check.t
+
+    let compare = Check.compare
+  end) in
+  let module LS = Set.Make (struct
+    type t = Nascent_checks.Linexpr.t
+
+    let compare = Nascent_checks.Linexpr.compare
+  end) in
+  let plain = ref CS.empty
+  and gcd = ref CS.empty
+  and fam = ref LS.empty
+  and famg = ref LS.empty in
+  List.iter
+    (fun c ->
+      Ir.Program.iter_funcs
+        (fun f ->
+          List.iter
+            (fun (m : Ir.Types.check_meta) ->
+              let chk = m.Ir.Types.chk in
+              let g = Check.gcd_normalize chk in
+              plain := CS.add chk !plain;
+              gcd := CS.add g !gcd;
+              fam := LS.add (Check.lhs chk) !fam;
+              famg := LS.add (Check.lhs g) !famg)
+            (Ir.Func.all_check_metas f))
+        c.ir)
+    chars;
+  {
+    distinct_checks = CS.cardinal !plain;
+    distinct_checks_gcd = CS.cardinal !gcd;
+    families = LS.cardinal !fam;
+    families_gcd = LS.cardinal !famg;
+  }

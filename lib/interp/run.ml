@@ -1,0 +1,319 @@
+(* Instrumented IR interpreter.
+
+   Stands in for the paper's instrumented-C back-end: it executes the
+   program and reports *dynamic counts* — instruction units and range
+   checks — which are the measurements behind Tables 1–3.
+
+   Counting model:
+   - every evaluated expression node costs one instruction unit;
+   - every non-check instruction costs one additional unit (the
+     store/branch/call itself);
+   - an executed [Check] counts as one range check (not as instruction
+     units — the paper keeps the two counts separate);
+   - a [Cond_check] evaluates its guard (instruction units) and counts
+     one range check only when the guard holds. *)
+
+module Ir = Nascent_ir
+module Check = Nascent_checks.Check
+module Atom = Nascent_checks.Atom
+open Ir.Types
+open Value
+
+exception Trap of string
+exception Runtime_error of string
+exception Out_of_fuel
+
+type counters = {
+  mutable instrs : int;
+  mutable checks : int;
+  mutable cond_guards : int; (* cond-check guard evaluations *)
+}
+
+type outcome = {
+  printed : Value.t list;
+  trap : string option;
+  error : string option; (* non-trap runtime error (e.g. division by zero) *)
+  instrs : int;
+  checks : int;
+  cond_guards : int;
+  fuel_exhausted : bool;
+}
+
+(* Array storage: flat payload plus the evaluated dimensions used for
+   addressing. Arrays are passed by reference: the payload is shared
+   with the callee, which addresses it through its own declared dims. *)
+type storage = { data : Value.t array; mutable dims : (int * int) list }
+(* [dims = []] marks a parameter array whose callee-side dims have not
+   been evaluated yet (they are computed on first touch, after the
+   entry block has assigned any bound temps). MiniF arrays always have
+   at least one dimension, so [] is unambiguous. *)
+
+type frame = {
+  func : Ir.Func.t;
+  scalars : Value.t array; (* indexed by vid *)
+  arr_store : (int, storage) Hashtbl.t; (* aid -> storage *)
+}
+
+type state = {
+  prog : Ir.Program.t;
+  counters : counters;
+  mutable printed : Value.t list;
+  mutable fuel : int;
+}
+
+let charge st n =
+  st.counters.instrs <- st.counters.instrs + n;
+  st.fuel <- st.fuel - n;
+  if st.fuel < 0 then raise Out_of_fuel
+
+let bound_value fr = function
+  | Bconst n -> n
+  | Bvar v -> to_int fr.scalars.(v.vid)
+
+let promote_pair a b =
+  match (a, b) with
+  | VInt x, VReal y -> (VReal (float_of_int x), VReal y)
+  | VReal x, VInt y -> (VReal x, VReal (float_of_int y))
+  | _ -> (a, b)
+
+let arith_error name = raise (Runtime_error name)
+
+let rec eval st fr (e : expr) : Value.t =
+  charge st 1;
+  match e with
+  | Cint n -> VInt n
+  | Creal f -> VReal f
+  | Cbool b -> VBool b
+  | Evar v -> fr.scalars.(v.vid)
+  | Eload (a, idxs) ->
+      let vals = List.map (fun i -> to_int (eval st fr i)) idxs in
+      let s = storage_of () fr a in
+      s.data.(offset_of fr a s vals)
+  | Eun (op, a) -> (
+      let v = eval st fr a in
+      match (op, v) with
+      | Neg, VInt n -> VInt (-n)
+      | Neg, VReal f -> VReal (-.f)
+      | Not, VBool b -> VBool (not b)
+      | Abs, VInt n -> VInt (abs n)
+      | Abs, VReal f -> VReal (Float.abs f)
+      | _ -> arith_error "ill-typed unary operation")
+  | Ebin (op, a, b) -> (
+      let va = eval st fr a in
+      let vb = eval st fr b in
+      match op with
+      | And -> VBool (to_bool va && to_bool vb)
+      | Or -> VBool (to_bool va || to_bool vb)
+      | _ -> (
+          let va, vb = promote_pair va vb in
+          match (op, va, vb) with
+          | Add, VInt x, VInt y -> VInt (x + y)
+          | Add, VReal x, VReal y -> VReal (x +. y)
+          | Sub, VInt x, VInt y -> VInt (x - y)
+          | Sub, VReal x, VReal y -> VReal (x -. y)
+          | Mul, VInt x, VInt y -> VInt (x * y)
+          | Mul, VReal x, VReal y -> VReal (x *. y)
+          | Div, VInt _, VInt 0 -> arith_error "integer division by zero"
+          | Div, VInt x, VInt y -> VInt (x / y)
+          | Div, VReal x, VReal y -> VReal (x /. y)
+          | Mod, VInt _, VInt 0 -> arith_error "mod by zero"
+          | Mod, VInt x, VInt y -> VInt (x mod y)
+          | Min, VInt x, VInt y -> VInt (min x y)
+          | Min, VReal x, VReal y -> VReal (Float.min x y)
+          | Max, VInt x, VInt y -> VInt (max x y)
+          | Max, VReal x, VReal y -> VReal (Float.max x y)
+          | Eq, VInt x, VInt y -> VBool (x = y)
+          | Eq, VReal x, VReal y -> VBool (x = y)
+          | Ne, VInt x, VInt y -> VBool (x <> y)
+          | Ne, VReal x, VReal y -> VBool (x <> y)
+          | Lt, VInt x, VInt y -> VBool (x < y)
+          | Lt, VReal x, VReal y -> VBool (x < y)
+          | Le, VInt x, VInt y -> VBool (x <= y)
+          | Le, VReal x, VReal y -> VBool (x <= y)
+          | Gt, VInt x, VInt y -> VBool (x > y)
+          | Gt, VReal x, VReal y -> VBool (x > y)
+          | Ge, VInt x, VInt y -> VBool (x >= y)
+          | Ge, VReal x, VReal y -> VBool (x >= y)
+          | _ -> arith_error "ill-typed binary operation"))
+
+and storage_of () fr (a : arr) : storage =
+  match Hashtbl.find_opt fr.arr_store a.aid with
+  | Some s ->
+      if s.dims = [] then
+        s.dims <-
+          List.map (fun (lo, hi) -> (bound_value fr lo, bound_value fr hi)) a.adims;
+      s
+  | None ->
+      (* First touch: evaluate the declared dims (bound temps were
+         assigned during entry-block execution, before any access). *)
+      let dims =
+        List.map (fun (lo, hi) -> (bound_value fr lo, bound_value fr hi)) a.adims
+      in
+      let size =
+        List.fold_left (fun acc (lo, hi) -> acc * max 0 (hi - lo + 1)) 1 dims
+      in
+      let s = { data = Array.make (max size 1) (zero_of_ty a.aty); dims } in
+      Hashtbl.replace fr.arr_store a.aid s;
+      s
+
+(* Column-major (Fortran) linear offset. Out-of-storage accesses can
+   only happen when range checks were (incorrectly) removed; they are a
+   memory fault, not a trap. *)
+and offset_of _fr (a : arr) (s : storage) (vals : int list) : int =
+  let rec go dims vals mult acc =
+    match (dims, vals) with
+    | [], [] -> acc
+    | (lo, hi) :: dims, v :: vals -> go dims vals (mult * max 0 (hi - lo + 1)) (acc + ((v - lo) * mult))
+    | _ -> raise (Runtime_error ("rank mismatch accessing " ^ a.aname))
+  in
+  let off = go s.dims vals 1 0 in
+  if off < 0 || off >= Array.length s.data then
+    raise (Runtime_error (Printf.sprintf "memory fault on %s (offset %d)" a.aname off))
+  else off
+
+let trap_message (m : check_meta) =
+  Fmt.str "range check failed: %s dimension %d (%s bound): %a" m.src_array m.src_dim
+    (match m.kind with Lower -> "lower" | Upper -> "upper")
+    Check.pp m.chk
+
+(* Evaluate a canonical check: sum the linear terms and compare. *)
+let perform_check st fr (m : check_meta) =
+  st.counters.checks <- st.counters.checks + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel < 0 then raise Out_of_fuel;
+  let atoms = fr.func.Ir.Func.atoms in
+  let sum =
+    List.fold_left
+      (fun acc (a, coeff) ->
+        let v =
+          match Ir.Atoms.payload_exn atoms (Atom.key a) with
+          | Ir.Atoms.Avar v -> to_int fr.scalars.(v.vid)
+          | Ir.Atoms.Aopaque e -> to_int (eval st fr e)
+          | Ir.Atoms.Asynth name ->
+              raise
+                (Runtime_error ("synthetic atom " ^ name ^ " in an executed check"))
+        in
+        acc + (coeff * v))
+      0
+      (Nascent_checks.Linexpr.terms (Check.lhs m.chk))
+  in
+  if sum > Check.constant m.chk then raise (Trap (trap_message m))
+
+let rec exec_call st (callee : Ir.Func.t) (args : (Value.t, storage) Either.t list) =
+  let nvids = callee.Ir.Func.next_vid in
+  let scalars = Array.make (max nvids 1) (VInt 0) in
+  (* Locals default to the zero of their type. *)
+  List.iter (fun (v : var) -> scalars.(v.vid) <- zero_of_ty v.vty) callee.Ir.Func.vars;
+  let fr = { func = callee; scalars; arr_store = Hashtbl.create 8 } in
+  List.iter2
+    (fun (p : param) arg ->
+      match (p, arg) with
+      | Pscalar v, Either.Left value ->
+          (* Integer parameter receiving an integer value, or real
+             receiving real/int (promoted). *)
+          fr.scalars.(v.vid) <-
+            (match (v.vty, value) with
+            | Real, VInt n -> VReal (float_of_int n)
+            | _ -> value)
+      | Parr a, Either.Right storage ->
+          (* By reference: share the payload; the callee addresses it
+             through its own declared dims, evaluated on first touch
+             (after entry-block bound temps are assigned). *)
+          Hashtbl.replace fr.arr_store a.aid { data = storage.data; dims = [] }
+      | _ -> raise (Runtime_error ("argument kind mismatch calling " ^ callee.Ir.Func.fname)))
+    callee.Ir.Func.params args;
+  exec_blocks st fr
+
+and exec_blocks st fr =
+  let rec run_block bid =
+    let b = Ir.Func.block fr.func bid in
+    List.iter (exec_instr st fr) b.instrs;
+    charge st 1;
+    match b.term with
+    | Goto l -> run_block l
+    | Branch (c, t, f) -> if to_bool (eval st fr c) then run_block t else run_block f
+    | Ret -> ()
+  in
+  run_block fr.func.Ir.Func.entry
+
+and exec_instr st fr (i : instr) =
+  match i with
+  | Assign (v, e) ->
+      let value = eval st fr e in
+      charge st 1;
+      fr.scalars.(v.vid) <-
+        (match (v.vty, value) with Real, VInt n -> VReal (float_of_int n) | _ -> value)
+  | Store (a, idxs, e) ->
+      let vals = List.map (fun i -> to_int (eval st fr i)) idxs in
+      let value = eval st fr e in
+      charge st 1;
+      let s = storage_of () fr a in
+      s.data.(offset_of fr a s vals) <-
+        (match (a.aty, value) with Real, VInt n -> VReal (float_of_int n) | _ -> value)
+  | Check m -> perform_check st fr m
+  | Cond_check (g, m) ->
+      st.counters.cond_guards <- st.counters.cond_guards + 1;
+      if to_bool (eval st fr g) then perform_check st fr m
+  | Trap msg -> raise (Trap ("compile-time range violation: " ^ msg))
+  | Call (name, args) ->
+      let callee =
+        match Ir.Program.find st.prog name with
+        | Some f -> f
+        | None -> raise (Runtime_error ("call to unknown subroutine " ^ name))
+      in
+      charge st 1;
+      let args =
+        List.map
+          (fun arg ->
+            match arg with
+            | Aexpr e -> Either.Left (eval st fr e)
+            | Aarr a -> Either.Right (storage_of () fr a))
+          args
+      in
+      exec_call st callee args
+  | Print e ->
+      let v = eval st fr e in
+      charge st 1;
+      st.printed <- v :: st.printed
+
+
+let default_fuel = 200_000_000
+
+let run ?(fuel = default_fuel) (prog : Ir.Program.t) : outcome =
+  let st =
+    {
+      prog;
+      counters = { instrs = 0; checks = 0; cond_guards = 0 };
+      printed = [];
+      fuel;
+    }
+  in
+  let main = Ir.Program.main_func prog in
+  let finish trap error fuel_exhausted =
+    {
+      printed = List.rev st.printed;
+      trap;
+      error;
+      instrs = st.counters.instrs;
+      checks = st.counters.checks;
+      cond_guards = st.counters.cond_guards;
+      fuel_exhausted;
+    }
+  in
+  match exec_call st main [] with
+  | () -> finish None None false
+  | exception Trap msg -> finish (Some msg) None false
+  | exception Runtime_error msg -> finish None (Some msg) false
+  | exception Out_of_fuel -> finish None None true
+
+let pp_outcome ppf (o : outcome) =
+  Fmt.pf ppf "@[<v>instrs=%d checks=%d cond-guards=%d%a%a%a@,printed: %a@]" o.instrs
+    o.checks o.cond_guards
+    (fun ppf -> function None -> () | Some t -> Fmt.pf ppf "@,TRAP: %s" t)
+    o.trap
+    (fun ppf -> function None -> () | Some e -> Fmt.pf ppf "@,ERROR: %s" e)
+    o.error
+    (fun ppf b -> if b then Fmt.pf ppf "@,(fuel exhausted)")
+    o.fuel_exhausted
+    Fmt.(list ~sep:comma Value.pp)
+    o.printed

@@ -1,0 +1,38 @@
+(** Instrumented IR interpreter.
+
+    Stands in for the paper's instrumented-C back-end: it executes the
+    program and reports {e dynamic counts} — instruction units and
+    range checks — the measurements behind Tables 1–3.
+
+    Counting model:
+    - every evaluated expression node costs one instruction unit, plus
+      one unit per executed non-check instruction and terminator;
+    - an executed [Check] counts as one range check (checks are counted
+      separately from instructions, as in the paper);
+    - a [Cond_check] evaluates its guard (instruction units) and counts
+      one range check only when the guard holds.
+
+    Semantics: scalars are zero-initialized and passed by value; arrays
+    are allocated from their (entry-evaluated) declared dims, passed by
+    reference, and addressed column-major through the callee's own
+    dims. A failed check raises a trap; integer division by zero and
+    out-of-storage accesses (possible only if checking was subverted)
+    are reported as errors, distinct from traps. *)
+
+type outcome = {
+  printed : Value.t list;  (** observable output, in order *)
+  trap : string option;  (** range-check trap, if any *)
+  error : string option;  (** non-trap runtime error *)
+  instrs : int;  (** dynamic instruction units (non-check) *)
+  checks : int;  (** dynamic range checks executed *)
+  cond_guards : int;  (** conditional-check guard evaluations *)
+  fuel_exhausted : bool;
+}
+
+val default_fuel : int
+
+val run : ?fuel:int -> Nascent_ir.Program.t -> outcome
+(** Execute from the main program unit. Never raises: traps, errors and
+    fuel exhaustion are reported in the outcome. *)
+
+val pp_outcome : outcome Fmt.t

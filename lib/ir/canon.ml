@@ -1,0 +1,61 @@
+(* Canonicalization of subscript and bound expressions into the
+   paper's canonical check form (section 2.2).
+
+   [linearize] rewrites an integer IR expression as a linear
+   combination of atoms plus a constant. Non-linear subexpressions
+   (products of variables, divisions, mods, array loads, ...) become a
+   single opaque atom, so the check on e.g. [a(i*j+1)] still has a
+   canonical form — family [i*j], constant folded — it simply has
+   coarser kill behaviour. *)
+
+module Linexpr = Nascent_checks.Linexpr
+module Check = Nascent_checks.Check
+open Types
+
+let rec linearize (atoms : Atoms.t) (e : expr) : Linexpr.t * int =
+  match e with
+  | Cint n -> (Linexpr.zero, n)
+  | Evar v when v.vty = Int -> (Linexpr.of_atom (Atoms.of_var atoms v), 0)
+  | Eun (Neg, a) ->
+      let la, ca = linearize atoms a in
+      (Linexpr.neg la, -ca)
+  | Ebin (Add, a, b) ->
+      let la, ca = linearize atoms a and lb, cb = linearize atoms b in
+      (Linexpr.add la lb, ca + cb)
+  | Ebin (Sub, a, b) ->
+      let la, ca = linearize atoms a and lb, cb = linearize atoms b in
+      (Linexpr.sub la lb, ca - cb)
+  | Ebin (Mul, a, b) -> (
+      let la, ca = linearize atoms a and lb, cb = linearize atoms b in
+      match (Linexpr.is_zero la, Linexpr.is_zero lb) with
+      | true, _ -> (Linexpr.scale ca lb, ca * cb)
+      | _, true -> (Linexpr.scale cb la, ca * cb)
+      | false, false -> (Linexpr.of_atom (Atoms.of_opaque atoms e), 0))
+  | _ -> (Linexpr.of_atom (Atoms.of_opaque atoms e), 0)
+
+let of_bound (atoms : Atoms.t) : bound -> Linexpr.t * int = function
+  | Bconst n -> (Linexpr.zero, n)
+  | Bvar v -> (Linexpr.of_atom (Atoms.of_var atoms v), 0)
+
+(* The two canonical checks guarding subscript [sub] of dimension
+   [dim] (bounds [lo], [hi]) of array [a]. *)
+let checks_for_subscript atoms (a : arr) ~dim ~(sub : expr) : check_meta list =
+  let lo, hi = List.nth a.adims dim in
+  let lsub = linearize atoms sub in
+  let lower =
+    {
+      chk = Check.lower ~sub:lsub ~bound:(of_bound atoms lo);
+      src_array = a.aname;
+      src_dim = dim;
+      kind = Lower;
+    }
+  in
+  let upper =
+    {
+      chk = Check.upper ~sub:lsub ~bound:(of_bound atoms hi);
+      src_array = a.aname;
+      src_dim = dim;
+      kind = Upper;
+    }
+  in
+  [ lower; upper ]

@@ -1,0 +1,157 @@
+(* IR functions: a CFG of basic blocks plus the tables the analyses
+   need (atoms, declared arrays, loop metadata from lowering). *)
+
+module Vec = Nascent_support.Vec
+open Types
+
+type t = {
+  fname : string;
+  mutable params : param list;
+  mutable vars : var list; (* every scalar, including temps; entry-initialized *)
+  mutable arrays : arr list;
+  blocks : block Vec.t;
+  mutable entry : int;
+  atoms : Atoms.t;
+  mutable loops : loop_meta list; (* innermost-last, in lowering order *)
+  mutable next_vid : int;
+}
+
+let dummy_block = { bid = -1; instrs = []; term = Ret }
+
+let create ~name ~params =
+  {
+    fname = name;
+    params;
+    vars = [];
+    arrays = [];
+    blocks = Vec.create ~dummy:dummy_block;
+    entry = 0;
+    atoms = Atoms.create ();
+    loops = [];
+    next_vid = 0;
+  }
+
+let fresh_var t ~name ~ty : var =
+  let v = { vname = name; vid = t.next_vid; vty = ty } in
+  t.next_vid <- t.next_vid + 1;
+  t.vars <- v :: t.vars;
+  v
+
+let add_array t (a : arr) = t.arrays <- a :: t.arrays
+
+let new_block t : block =
+  let b = { bid = Vec.length t.blocks; instrs = []; term = Ret } in
+  ignore (Vec.push t.blocks b);
+  b
+
+let block t bid = Vec.get t.blocks bid
+
+let num_blocks t = Vec.length t.blocks
+
+let iter_blocks f t = Vec.iter f t.blocks
+
+let succs_of_term = function
+  | Goto l -> [ l ]
+  | Branch (_, a, b) -> if a = b then [ a ] else [ a; b ]
+  | Ret -> []
+
+let succs t bid = succs_of_term (block t bid).term
+
+let preds_array t : int list array =
+  let preds = Array.make (num_blocks t) [] in
+  iter_blocks
+    (fun b -> List.iter (fun s -> preds.(s) <- b.bid :: preds.(s)) (succs_of_term b.term))
+    t;
+  Array.map List.rev preds
+
+(* Blocks reachable from entry; unreachable blocks are ignored by the
+   analyses and the interpreter never visits them. *)
+let reachable t : bool array =
+  let seen = Array.make (num_blocks t) false in
+  let rec go bid =
+    if not seen.(bid) then begin
+      seen.(bid) <- true;
+      List.iter go (succs t bid)
+    end
+  in
+  if num_blocks t > 0 then go t.entry;
+  seen
+
+(* Reverse postorder over reachable blocks, the iteration order of the
+   forward data-flow solvers. *)
+let rpo t : int list =
+  let seen = Array.make (num_blocks t) false in
+  let order = ref [] in
+  let rec go bid =
+    if not seen.(bid) then begin
+      seen.(bid) <- true;
+      List.iter go (succs t bid);
+      order := bid :: !order
+    end
+  in
+  if num_blocks t > 0 then go t.entry;
+  !order
+
+(* Split every critical edge (from a multi-successor block to a
+   multi-predecessor block) by inserting an empty block, so PRE edge
+   insertions have a place to live. Returns true if anything changed. *)
+let split_critical_edges t : bool =
+  let changed = ref false in
+  let preds = preds_array t in
+  let split_target from_bid to_bid =
+    let mid = new_block t in
+    mid.term <- Goto to_bid;
+    let b = block t from_bid in
+    (match b.term with
+    | Branch (c, x, y) ->
+        let x = if x = to_bid then mid.bid else x in
+        let y = if y = to_bid then mid.bid else y in
+        b.term <- Branch (c, x, y)
+    | Goto _ | Ret -> invalid_arg "split_critical_edges: not a branch");
+    changed := true
+  in
+  let n = num_blocks t in
+  for bid = 0 to n - 1 do
+    let b = block t bid in
+    match b.term with
+    | Branch (_, x, y) when x <> y ->
+        if List.length preds.(x) > 1 then split_target bid x;
+        if List.length preds.(y) > 1 then split_target bid y
+    | _ -> ()
+  done;
+  !changed
+
+(* Fold over every check-bearing instruction of the function. *)
+let fold_checks f init t =
+  Vec.fold
+    (fun acc b ->
+      List.fold_left
+        (fun acc i ->
+          match i with
+          | Check m -> f acc b i m
+          | Cond_check (_, m) -> f acc b i m
+          | _ -> acc)
+        acc b.instrs)
+    init t.blocks
+
+let all_check_metas t : check_meta list =
+  List.rev (fold_checks (fun acc _ _ m -> m :: acc) [] t)
+
+(* Static instruction counts, as reported in Table 1: range checks are
+   counted separately from other instructions. *)
+let static_counts t =
+  let instrs = ref 0 and checks = ref 0 in
+  let reach = reachable t in
+  iter_blocks
+    (fun b ->
+      if reach.(b.bid) then begin
+        List.iter
+          (fun i ->
+            match i with
+            | Check _ | Cond_check _ -> incr checks
+            | _ -> incr instrs)
+          b.instrs;
+        match b.term with Branch _ -> incr instrs | Goto _ | Ret -> ()
+      end)
+    t;
+  (!instrs, !checks)

@@ -1,0 +1,61 @@
+(** IR functions: a CFG of basic blocks plus the tables the analyses
+    need (atoms, declared arrays, loop metadata from lowering).
+
+    Blocks are integer-addressed; instruction lists are mutable — the
+    optimization passes rebuild them in place. *)
+
+open Types
+
+type t = {
+  fname : string;
+  mutable params : param list;
+  mutable vars : var list;
+      (** every scalar, including temps; zero-initialized at entry *)
+  mutable arrays : arr list;
+  blocks : block Nascent_support.Vec.t;
+  mutable entry : int;
+  atoms : Atoms.t;
+  mutable loops : loop_meta list;  (** lowering-time loop structure *)
+  mutable next_vid : int;
+}
+
+val dummy_block : block
+
+val create : name:string -> params:param list -> t
+
+val fresh_var : t -> name:string -> ty:ty -> var
+(** Allocate a scalar with a fresh vid, registered in [vars]. *)
+
+val add_array : t -> arr -> unit
+
+val new_block : t -> block
+(** Append an empty block (terminator [Ret]) and return it. *)
+
+val block : t -> int -> block
+val num_blocks : t -> int
+val iter_blocks : (block -> unit) -> t -> unit
+
+val succs_of_term : terminator -> int list
+val succs : t -> int -> int list
+val preds_array : t -> int list array
+
+val reachable : t -> bool array
+(** Blocks reachable from entry; analyses ignore the rest. *)
+
+val rpo : t -> int list
+(** Reverse postorder over reachable blocks — the iteration order of
+    the forward data-flow solvers. *)
+
+val split_critical_edges : t -> bool
+(** Split every edge from a multi-successor block to a
+    multi-predecessor block by inserting an empty block, giving PRE
+    edge insertions a place to live. Returns true if anything changed. *)
+
+val fold_checks : ('a -> block -> instr -> check_meta -> 'a) -> 'a -> t -> 'a
+(** Fold over every [Check] and [Cond_check] instruction. *)
+
+val all_check_metas : t -> check_meta list
+
+val static_counts : t -> int * int
+(** [(instructions, checks)] over reachable blocks — Table 1's static
+    columns (checks counted separately, as in the paper). *)

@@ -1,0 +1,54 @@
+(* Human-readable dump of the IR, in the notation of the paper's
+   figures: [Check (e <= k)] and [Cond-check (g, e <= k)]. *)
+
+module Check = Nascent_checks.Check
+open Types
+
+let pp_check_meta ppf (m : check_meta) =
+  Fmt.pf ppf "%a  ! %s dim %d %s" Check.pp m.chk m.src_array m.src_dim
+    (match m.kind with Lower -> "lower" | Upper -> "upper")
+
+let pp_call_arg ppf = function
+  | Aexpr e -> Expr.pp ppf e
+  | Aarr a -> Fmt.string ppf a.aname
+
+let pp_instr ppf = function
+  | Assign (v, e) -> Fmt.pf ppf "%s = %a" v.vname Expr.pp e
+  | Store (a, idxs, e) ->
+      Fmt.pf ppf "%s(%a) = %a" a.aname Fmt.(list ~sep:comma Expr.pp) idxs Expr.pp e
+  | Check m -> pp_check_meta ppf m
+  | Cond_check (g, m) ->
+      Fmt.pf ppf "Cond-check (%a, %a <= %d)  ! %s" Expr.pp g
+        Nascent_checks.Linexpr.pp (Check.lhs m.chk) (Check.constant m.chk) m.src_array
+  | Trap msg -> Fmt.pf ppf "TRAP %S" msg
+  | Call (f, args) -> Fmt.pf ppf "call %s(%a)" f Fmt.(list ~sep:comma pp_call_arg) args
+  | Print e -> Fmt.pf ppf "print %a" Expr.pp e
+
+let pp_terminator ppf = function
+  | Goto l -> Fmt.pf ppf "goto B%d" l
+  | Branch (c, t, f) -> Fmt.pf ppf "if %a goto B%d else B%d" Expr.pp c t f
+  | Ret -> Fmt.string ppf "return"
+
+let pp_block ppf (b : block) =
+  Fmt.pf ppf "@[<v2>B%d:@,%a%a@]" b.bid
+    Fmt.(list ~sep:(any "") (fun ppf i -> Fmt.pf ppf "%a@," pp_instr i))
+    b.instrs pp_terminator b.term
+
+let pp_func ppf (f : Func.t) =
+  let pp_param ppf = function
+    | Pscalar v -> Fmt.string ppf v.vname
+    | Parr a -> Fmt.pf ppf "%s(...)" a.aname
+  in
+  Fmt.pf ppf "@[<v>function %s(%a)  entry=B%d@,%a@]" f.Func.fname
+    Fmt.(list ~sep:comma pp_param)
+    f.Func.params f.Func.entry
+    Fmt.(list ~sep:cut pp_block)
+    (Nascent_support.Vec.to_list f.Func.blocks)
+
+let pp_program ppf (p : Program.t) =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:(any "@,@,") pp_func)
+    (Program.funcs_sorted p)
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let program_to_string p = Fmt.str "%a" pp_program p

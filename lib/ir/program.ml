@@ -1,0 +1,30 @@
+(* A whole IR program: one function per compilation unit. *)
+
+type t = { funcs : (string, Func.t) Hashtbl.t; main : string }
+
+let create ~main = { funcs = Hashtbl.create 8; main }
+
+let add t (f : Func.t) = Hashtbl.replace t.funcs f.Func.fname f
+
+let find t name = Hashtbl.find_opt t.funcs name
+
+let find_exn t name =
+  match find t name with
+  | Some f -> f
+  | None -> invalid_arg ("Program.find_exn: no function " ^ name)
+
+let main_func t = find_exn t t.main
+
+let iter_funcs f t = Hashtbl.iter (fun _ fn -> f fn) t.funcs
+
+(* Deterministic order (by name) for printing and statistics. *)
+let funcs_sorted t =
+  Hashtbl.fold (fun _ fn acc -> fn :: acc) t.funcs []
+  |> List.sort (fun a b -> String.compare a.Func.fname b.Func.fname)
+
+let static_counts t =
+  List.fold_left
+    (fun (i, c) f ->
+      let i', c' = Func.static_counts f in
+      (i + i', c + c'))
+    (0, 0) (funcs_sorted t)

@@ -1,0 +1,16 @@
+(** A whole IR program: one function per compilation unit. *)
+
+type t = { funcs : (string, Func.t) Hashtbl.t; main : string }
+
+val create : main:string -> t
+val add : t -> Func.t -> unit
+val find : t -> string -> Func.t option
+val find_exn : t -> string -> Func.t
+val main_func : t -> Func.t
+val iter_funcs : (Func.t -> unit) -> t -> unit
+
+val funcs_sorted : t -> Func.t list
+(** Deterministic (name) order, for printing and statistics. *)
+
+val static_counts : t -> int * int
+(** Program-wide [(instructions, checks)], summed over functions. *)

@@ -1,0 +1,49 @@
+(* Whole-IR copying and check stripping.
+
+   The experiment harness optimizes the same naive-checked program
+   under many configurations; each run works on its own copy. Block ids
+   are preserved, so loop metadata and atom tables can be shared. *)
+
+module Vec = Nascent_support.Vec
+open Types
+
+let copy_func (f : Func.t) : Func.t =
+  let blocks = Vec.create ~dummy:Func.dummy_block in
+  Vec.iter
+    (fun (b : block) -> ignore (Vec.push blocks { bid = b.bid; instrs = b.instrs; term = b.term }))
+    f.Func.blocks;
+  let loops =
+    List.map
+      (function
+        | Ldo d -> Ldo { d with d_basic = d.d_basic } (* fresh record: d_basic is mutable *)
+        | Lwhile w -> Lwhile w)
+      f.Func.loops
+  in
+  {
+    f with
+    Func.blocks;
+    loops;
+    atoms = Atoms.clone f.Func.atoms;
+    (* vars/arrays are immutable values: shared. *)
+  }
+
+let copy_program (p : Program.t) : Program.t =
+  let q = Program.create ~main:p.Program.main in
+  Program.iter_funcs (fun f -> Program.add q (copy_func f)) p;
+  q
+
+(* Remove every check-related instruction: the "without range checking"
+   baseline of Table 1. *)
+let strip_checks_func (f : Func.t) =
+  Func.iter_blocks
+    (fun b ->
+      b.instrs <-
+        List.filter
+          (fun i -> match i with Check _ | Cond_check _ | Trap _ -> false | _ -> true)
+          b.instrs)
+    f
+
+let strip_checks (p : Program.t) : Program.t =
+  let q = copy_program p in
+  Program.iter_funcs strip_checks_func q;
+  q

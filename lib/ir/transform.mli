@@ -1,0 +1,15 @@
+(** Whole-IR copying and check stripping.
+
+    The experiment harness optimizes the same naive-checked program
+    under many configurations; each run works on its own copy. Block
+    ids are preserved, so loop metadata remains valid; the atom
+    environment is cloned (it is mutable and append-only). *)
+
+val copy_func : Func.t -> Func.t
+val copy_program : Program.t -> Program.t
+
+val strip_checks_func : Func.t -> unit
+
+val strip_checks : Program.t -> Program.t
+(** A copy with every check-related instruction removed — the "without
+    range checking" baseline of Table 1. *)

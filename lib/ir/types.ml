@@ -1,0 +1,116 @@
+(* Core IR type definitions.
+
+   The IR is a control-flow graph of basic blocks whose instructions
+   keep structured expressions (the paper's analyses are about checks,
+   not about three-address scheduling, and the instrumented interpreter
+   charges per expression node, which approximates instruction counts).
+
+   Range checks appear as first-class [Check] / [Cond_check]
+   instructions carrying their canonical form, exactly as in the
+   paper's Nascent compiler. *)
+
+type ty = Int | Real | Bool
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not | Abs
+
+type var = { vname : string; vid : int; vty : ty }
+
+(* An array bound: either a compile-time constant or a dedicated temp
+   evaluated once at function entry (Fortran adjustable-dimension
+   semantics: bounds are fixed on entry even if the bounding variable
+   is later reassigned). *)
+type bound = Bconst of int | Bvar of var
+
+type arr = { aname : string; aid : int; aty : ty; adims : (bound * bound) list }
+
+type expr =
+  | Cint of int
+  | Creal of float
+  | Cbool of bool
+  | Evar of var
+  | Eload of arr * expr list
+  | Eun of unop * expr
+  | Ebin of binop * expr * expr
+
+type check_kind = Lower | Upper
+
+(* Provenance of a check, for trap messages and reporting. *)
+type check_meta = {
+  chk : Nascent_checks.Check.t;
+  src_array : string; (* array access being guarded *)
+  src_dim : int; (* which dimension, 0-based *)
+  kind : check_kind;
+}
+
+type call_arg = Aexpr of expr | Aarr of arr
+
+type instr =
+  | Assign of var * expr
+  | Store of arr * expr list * expr
+  | Check of check_meta
+  | Cond_check of expr * check_meta (* perform the check only if the guard holds *)
+  | Trap of string (* compile-time-false check, reported to the programmer *)
+  | Call of string * call_arg list
+  | Print of expr
+
+type terminator =
+  | Goto of int
+  | Branch of expr * int * int (* cond, then-target, else-target *)
+  | Ret
+
+type block = {
+  bid : int;
+  mutable instrs : instr list;
+  mutable term : terminator;
+}
+
+type param = Pscalar of var | Parr of arr
+
+(* Metadata for a counted [do] loop, recorded at lowering time and used
+   by the preheader insertion schemes (LI/LLS). Bounds are captured in
+   fresh temps, so they are loop-invariant by construction. *)
+type do_info = {
+  d_preheader : int;
+  d_header : int;
+  d_body_entry : int;
+  d_latch : int;
+  d_exit : int;
+  d_index : var;
+  d_lo : expr; (* loop-invariant: a constant or an entry temp *)
+  d_hi : expr; (* loop-invariant: a constant or an entry temp *)
+  d_step : int; (* nonzero constant step (a MiniF restriction) *)
+  mutable d_basic : var option;
+      (* the materialized basic loop variable h (0, 1, 2, ... per
+         iteration), created on demand by the INX rewriting pass *)
+}
+
+(* Metadata for a [while] loop: only invariant hoisting applies. The
+   guard for a hoisted check is a copy of the loop condition, valid
+   because the preheader directly precedes the test with no intervening
+   definitions. *)
+type while_info = {
+  w_preheader : int;
+  w_header : int;
+  w_body_entry : int;
+  w_exit : int;
+  w_cond : expr;
+}
+
+type loop_meta = Ldo of do_info | Lwhile of while_info

@@ -1,0 +1,140 @@
+(* Fixed-universe mutable bitsets over [0, n).
+
+   Data-flow analyses in the range-check optimizer manipulate sets of
+   check indices; the universe (all canonical checks of a function) is
+   fixed before the analysis starts, so a flat word array is the right
+   representation. *)
+
+type t = { n : int; words : int array }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+
+let nwords n = if n = 0 then 0 else ((n - 1) / bits_per_word) + 1
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { n; words = Array.make (nwords n) 0 }
+
+let universe t = t.n
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let check_idx t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of universe"
+
+let mem t i =
+  check_idx t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check_idx t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check_idx t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+(* Mask of valid bits in the last word, so [fill] keeps the invariant
+   that bits >= n are zero (required for [equal] and [cardinal]). *)
+let last_mask t =
+  if t.n = 0 then 0
+  else
+    let used = t.n mod bits_per_word in
+    if used = 0 then -1 else (1 lsl used) - 1
+
+let fill t =
+  let nw = Array.length t.words in
+  if nw > 0 then begin
+    Array.fill t.words 0 nw (-1);
+    t.words.(nw - 1) <- t.words.(nw - 1) land last_mask t
+  end
+
+let full n =
+  let t = create n in
+  fill t;
+  t
+
+let same_universe a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
+
+let union_into ~into src =
+  same_universe into src;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor src.words.(i)
+  done
+
+let inter_into ~into src =
+  same_universe into src;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land src.words.(i)
+  done
+
+let diff_into ~into src =
+  same_universe into src;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land lnot src.words.(i)
+  done
+
+let assign ~into src =
+  same_universe into src;
+  Array.blit src.words 0 into.words 0 (Array.length src.words)
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let iter f t =
+  for wi = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(wi) in
+    while !w <> 0 do
+      let low = !w land - !w in
+      let bit =
+        (* index of the lowest set bit *)
+        let rec idx b acc = if b land 1 = 1 then acc else idx (b lsr 1) (acc + 1) in
+        idx low 0
+      in
+      f ((wi * bits_per_word) + bit);
+      w := !w land lnot low
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let disjoint a b =
+  same_universe a b;
+  let d = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then d := false
+  done;
+  !d
+
+let subset a b =
+  same_universe a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) (elements t)

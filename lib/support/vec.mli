@@ -1,0 +1,26 @@
+(** Growable arrays with O(1) index access.
+
+    Basic blocks, CFG node tables and check universes grow as the
+    optimizer inserts blocks and checks; this keeps those tables dense
+    and integer-addressed. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [dummy] fills unused capacity (never observable). *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** Append; returns the new element's index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "nascent-rco"
+    [
+      ("support", Test_support.suite);
+      ("checks", Test_checks.suite);
+      ("frontend", Test_frontend.suite);
+      ("analysis", Test_analysis.suite);
+      ("ir", Test_ir.suite);
+      ("interp", Test_interp.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("core-passes", Test_core_passes.suite);
+      ("induction", Test_induction.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("random", Test_random.suite);
+      ("experiments", Test_experiments.suite);
+      ("harness", Test_harness.suite);
+    ]

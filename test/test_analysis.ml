@@ -1,0 +1,283 @@
+(* Dominance, natural loops, the data-flow solver, and CFG utilities. *)
+
+open Util
+module Ir = Nascent_ir
+module Dominance = Nascent_analysis.Dominance
+module Loops = Nascent_analysis.Loops
+module Dataflow = Nascent_analysis.Dataflow
+module Bitset = Nascent_support.Bitset
+
+let func_of src = Ir.Program.main_func (ir_of_source src)
+
+let diamond_src =
+  "program d\ninteger n, r\nn = 1\nif n > 0 then\nr = 1\nelse\nr = 2\nendif\nprint r\nend"
+
+let loop_src =
+  "program l\ninteger i, s\ns = 0\ndo i = 1, 10\ns = s + i\nenddo\nprint s\nend"
+
+let nested_src =
+  "program n2\n\
+   integer i, j, s\n\
+   s = 0\n\
+   do i = 1, 3\n\
+   do j = 1, 4\n\
+   s = s + 1\n\
+   enddo\n\
+   enddo\n\
+   print s\n\
+   end"
+
+let while_src = "program w\ninteger n\nn = 0\nwhile n < 5 do\nn = n + 1\nendwhile\nend"
+
+(* --- dominance -------------------------------------------------------- *)
+
+let test_dom_entry_dominates_all () =
+  let f = func_of diamond_src in
+  let dom = Dominance.compute f in
+  let entry = f.Ir.Func.entry in
+  Ir.Func.iter_blocks
+    (fun b ->
+      if Dominance.reachable dom b.Ir.Types.bid then
+        Alcotest.(check bool)
+          (Fmt.str "entry dom B%d" b.Ir.Types.bid)
+          true
+          (Dominance.dominates dom entry b.Ir.Types.bid))
+    f
+
+let test_dom_reflexive_antisymmetric () =
+  let f = func_of nested_src in
+  let dom = Dominance.compute f in
+  let n = Ir.Func.num_blocks f in
+  for a = 0 to n - 1 do
+    if Dominance.reachable dom a then begin
+      Alcotest.(check bool) "reflexive" true (Dominance.dominates dom a a);
+      for b = 0 to n - 1 do
+        if Dominance.reachable dom b && a <> b then
+          Alcotest.(check bool) "antisymmetric" false
+            (Dominance.dominates dom a b && Dominance.dominates dom b a)
+      done
+    end
+  done
+
+let test_dom_branch_blocks_dont_dominate_join () =
+  let f = func_of diamond_src in
+  let dom = Dominance.compute f in
+  (* the join has two preds, neither of which dominates it *)
+  let preds = Ir.Func.preds_array f in
+  let joins = ref [] in
+  Array.iteri (fun b ps -> if List.length ps = 2 then joins := (b, ps) :: !joins) preds;
+  Alcotest.(check bool) "has a join" true (!joins <> []);
+  List.iter
+    (fun (j, ps) ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "pred not dominator" false (Dominance.dominates dom p j))
+        ps)
+    !joins
+
+let test_dom_idom_of_loop_body () =
+  let f = func_of loop_src in
+  let dom = Dominance.compute f in
+  (* every loop body block is dominated by the loop header *)
+  let loops = Loops.compute f in
+  let l = List.hd loops in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "header dominates body" true
+        (Dominance.dominates dom l.Loops.header b))
+    l.Loops.blocks
+
+let test_dom_frontier_of_branch () =
+  let f = func_of diamond_src in
+  let dom = Dominance.compute f in
+  let df = Dominance.frontiers dom in
+  (* both branch arms have the join in their dominance frontier *)
+  let joins =
+    Array.to_list (Ir.Func.preds_array f)
+    |> List.mapi (fun b ps -> (b, ps))
+    |> List.filter (fun (_, ps) -> List.length ps = 2)
+    |> List.map fst
+  in
+  let join = List.hd joins in
+  let arms = (Ir.Func.preds_array f).(join) in
+  List.iter
+    (fun arm ->
+      Alcotest.(check bool) (Fmt.str "join in DF(B%d)" arm) true (List.mem join df.(arm)))
+    arms
+
+(* --- loops ------------------------------------------------------------ *)
+
+let test_loops_single () =
+  let f = func_of loop_src in
+  let loops = Loops.compute f in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check bool) "has do meta" true
+    (match l.Loops.meta with Some (Ir.Types.Ldo _) -> true | _ -> false);
+  (* the loop defines its index and the accumulator *)
+  Alcotest.(check bool) "defines i and s" true (Hashtbl.length l.Loops.defined_vids >= 2)
+
+let test_loops_nested_innermost_first () =
+  let f = func_of nested_src in
+  let loops = Loops.compute f in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let inner = List.nth loops 0 and outer = List.nth loops 1 in
+  Alcotest.(check bool) "inner inside outer" true (Loops.in_loop outer inner.Loops.header);
+  Alcotest.(check bool) "outer not inside inner" false
+    (Loops.in_loop inner outer.Loops.header);
+  Alcotest.(check bool) "depth order" true (inner.Loops.depth > outer.Loops.depth)
+
+let test_loops_while_meta () =
+  let f = func_of while_src in
+  let loops = Loops.compute f in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  match (List.hd loops).Loops.meta with
+  | Some (Ir.Types.Lwhile _) -> ()
+  | _ -> Alcotest.fail "expected while metadata"
+
+let test_loops_no_store_flag () =
+  let f = func_of loop_src in
+  let l = List.hd (Loops.compute f) in
+  Alcotest.(check bool) "scalar loop has no store" false l.Loops.has_store;
+  let f2 =
+    func_of "program s\ninteger i, a(1:10)\ndo i = 1, 10\na(i) = 0\nenddo\nend"
+  in
+  let l2 = List.hd (Loops.compute f2) in
+  Alcotest.(check bool) "array loop has store" true l2.Loops.has_store
+
+let test_innermost_containing () =
+  let f = func_of nested_src in
+  let loops = Loops.compute f in
+  let inner = List.nth loops 0 in
+  (* a block of the inner loop maps to the inner loop *)
+  let body = List.find (fun b -> b <> inner.Loops.header) inner.Loops.blocks in
+  match Loops.innermost_containing loops body with
+  | Some l -> Alcotest.(check int) "innermost" inner.Loops.header l.Loops.header
+  | None -> Alcotest.fail "no loop found"
+
+(* --- critical edge splitting ------------------------------------------ *)
+
+let test_split_critical_edges () =
+  (* loop exit edge (header -> exit) is critical when the exit has
+     another predecessor; after splitting, no branch target with
+     multiple preds remains reachable from a multi-successor block *)
+  let f = func_of "program c\ninteger i, j, s\ns = 0\ndo i = 1, 3\nif s > 1 then\ns = s - 1\nendif\nenddo\ndo j = 1, 2\ns = s + 1\nenddo\nprint s\nend" in
+  ignore (Ir.Func.split_critical_edges f);
+  let preds = Ir.Func.preds_array f in
+  Ir.Func.iter_blocks
+    (fun b ->
+      match b.Ir.Types.term with
+      | Ir.Types.Branch (_, x, y) when x <> y ->
+          List.iter
+            (fun t ->
+              Alcotest.(check bool)
+                (Fmt.str "edge B%d->B%d not critical" b.Ir.Types.bid t)
+                true
+                (List.length preds.(t) <= 1))
+            [ x; y ]
+      | _ -> ())
+    f;
+  (* behaviour is unchanged *)
+  let prog = ir_of_source "program c\ninteger i, j, s\ns = 0\ndo i = 1, 3\nif s > 1 then\ns = s - 1\nendif\nenddo\ndo j = 1, 2\ns = s + 1\nenddo\nprint s\nend" in
+  let f2 = Ir.Program.main_func prog in
+  let before = Nascent_interp.Run.run prog in
+  ignore (Ir.Func.split_critical_edges f2);
+  let after = Nascent_interp.Run.run prog in
+  Alcotest.(check bool) "same output" true
+    (List.for_all2 Nascent_interp.Value.equal before.printed after.printed)
+
+(* --- generic data-flow solver ------------------------------------------ *)
+
+(* Reaching-of-one-token experiment: GEN in one block, KILL in another,
+   must-confluence. On the diamond: token generated before the branch
+   reaches the join; token generated in one arm does not. *)
+let test_solver_must_confluence () =
+  let f = func_of diamond_src in
+  let n = Ir.Func.num_blocks f in
+  let preds = Ir.Func.preds_array f in
+  let join = ref (-1) in
+  Array.iteri (fun b ps -> if List.length ps = 2 then join := b) preds;
+  let arm = List.hd preds.(!join) in
+  let mk_transfer gen_in =
+    Array.init n (fun b ->
+        let gen = Bitset.create 1 and kill = Bitset.create 1 in
+        if b = gen_in then Bitset.add gen 0;
+        { Dataflow.gen; kill })
+  in
+  (* generated in the entry: available at the join *)
+  let r = Dataflow.solve f ~universe:1 ~direction:Dataflow.Forward
+      ~boundary:(Bitset.create 1) ~transfer:(mk_transfer f.Ir.Func.entry)
+  in
+  Alcotest.(check bool) "entry gen reaches join" true (Bitset.mem r.Dataflow.in_.(!join) 0);
+  (* generated in one arm only: not available at the join *)
+  let r2 = Dataflow.solve f ~universe:1 ~direction:Dataflow.Forward
+      ~boundary:(Bitset.create 1) ~transfer:(mk_transfer arm)
+  in
+  Alcotest.(check bool) "one-arm gen blocked at join" false
+    (Bitset.mem r2.Dataflow.in_.(!join) 0)
+
+let test_solver_kill () =
+  let f = func_of loop_src in
+  let n = Ir.Func.num_blocks f in
+  (* gen at entry, kill in the loop body: not available after the loop *)
+  let loops = Loops.compute f in
+  let l = List.hd loops in
+  let body = List.find (fun b -> b <> l.Loops.header) l.Loops.blocks in
+  let transfer =
+    Array.init n (fun b ->
+        let gen = Bitset.create 1 and kill = Bitset.create 1 in
+        if b = f.Ir.Func.entry then Bitset.add gen 0;
+        if b = body then Bitset.add kill 0;
+        { Dataflow.gen; kill })
+  in
+  let r = Dataflow.solve f ~universe:1 ~direction:Dataflow.Forward
+      ~boundary:(Bitset.create 1) ~transfer
+  in
+  (* at the loop header the token is not available (killed on the back
+     edge path) *)
+  Alcotest.(check bool) "killed around the loop" false
+    (Bitset.mem r.Dataflow.in_.(l.Loops.header) 0)
+
+let test_solver_backward () =
+  let f = func_of diamond_src in
+  let n = Ir.Func.num_blocks f in
+  (* "anticipated": gen in both arms => anticipatable before the branch;
+     gen in one arm only => not *)
+  let preds = Ir.Func.preds_array f in
+  let join = ref (-1) in
+  Array.iteri (fun b ps -> if List.length ps = 2 then join := b) preds;
+  let arms = preds.(!join) in
+  let mk gens =
+    Array.init n (fun b ->
+        let gen = Bitset.create 1 and kill = Bitset.create 1 in
+        if List.mem b gens then Bitset.add gen 0;
+        { Dataflow.gen; kill })
+  in
+  let r = Dataflow.solve f ~universe:1 ~direction:Dataflow.Backward
+      ~boundary:(Bitset.create 1) ~transfer:(mk arms)
+  in
+  Alcotest.(check bool) "both arms => anticipatable at entry" true
+    (Bitset.mem r.Dataflow.in_.(f.Ir.Func.entry) 0);
+  let r2 = Dataflow.solve f ~universe:1 ~direction:Dataflow.Backward
+      ~boundary:(Bitset.create 1) ~transfer:(mk [ List.hd arms ])
+  in
+  Alcotest.(check bool) "one arm => not anticipatable" false
+    (Bitset.mem r2.Dataflow.in_.(f.Ir.Func.entry) 0)
+
+let suite =
+  [
+    tc "dom: entry dominates all" test_dom_entry_dominates_all;
+    tc "dom: reflexive/antisymmetric" test_dom_reflexive_antisymmetric;
+    tc "dom: branch arms don't dominate join" test_dom_branch_blocks_dont_dominate_join;
+    tc "dom: header dominates loop body" test_dom_idom_of_loop_body;
+    tc "dom: frontier of branch arms" test_dom_frontier_of_branch;
+    tc "loops: single do" test_loops_single;
+    tc "loops: nested innermost first" test_loops_nested_innermost_first;
+    tc "loops: while meta" test_loops_while_meta;
+    tc "loops: store flag" test_loops_no_store_flag;
+    tc "loops: innermost containing" test_innermost_containing;
+    tc "cfg: split critical edges" test_split_critical_edges;
+    tc "solver: must confluence" test_solver_must_confluence;
+    tc "solver: kill" test_solver_kill;
+    tc "solver: backward" test_solver_backward;
+  ]

@@ -1,0 +1,96 @@
+(* The 10-program suite: every benchmark must compile, run trap-free
+   under naive checking, and stay behaviourally identical under every
+   (scheme, kind, implication-mode) configuration. *)
+
+open Util
+module B = Nascent_benchmarks.Suite
+module Core = Nascent_core
+module Config = Core.Config
+module Universe = Nascent_checks.Universe
+
+let ir_of b = ir_of_source b.B.source
+
+let test_compiles (b : B.benchmark) () = ignore (ir_of b)
+
+let test_runs_clean (b : B.benchmark) () =
+  let o = Nascent_interp.Run.run (ir_of b) in
+  check_no_trap o;
+  Alcotest.(check bool) "prints a checksum" true (List.length o.printed >= 1);
+  Alcotest.(check bool) "does real work" true (o.instrs > 1_000);
+  Alcotest.(check bool) "has checks" true (o.checks > 100)
+
+let test_check_ratio (b : B.benchmark) () =
+  (* Table 1's conclusion: the naive dynamic check/instruction ratio is
+     tens of percent. *)
+  let ir = ir_of b in
+  let bare = Nascent_ir.Transform.strip_checks ir in
+  let oc = Nascent_interp.Run.run ir in
+  let oi = Nascent_interp.Run.run bare in
+  let ratio = 100.0 *. float_of_int oc.checks /. float_of_int oi.instrs in
+  Alcotest.(check bool)
+    (Fmt.str "ratio %.1f%% in [10, 90]" ratio)
+    true
+    (ratio >= 10.0 && ratio <= 90.0)
+
+let equal_outcome (o1 : Nascent_interp.Run.outcome) (o2 : Nascent_interp.Run.outcome) =
+  (o1.trap <> None) = (o2.trap <> None)
+  && (o1.error <> None) = (o2.error <> None)
+  && List.length o1.printed = List.length o2.printed
+  && List.for_all2 Nascent_interp.Value.equal o1.printed o2.printed
+
+let test_all_configs_sound (b : B.benchmark) () =
+  let ir = ir_of b in
+  let o1 = Nascent_interp.Run.run ir in
+  check_no_trap o1;
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun impl ->
+              let opt, _ =
+                Core.Optimizer.optimize ~config:(Config.make ~scheme ~kind ~impl ()) ir
+              in
+              let o2 = Nascent_interp.Run.run opt in
+              if not (equal_outcome o1 o2) then
+                Alcotest.failf "behaviour change under %s/%s/%s"
+                  (Config.scheme_name scheme) (Config.kind_name kind)
+                  (Universe.mode_name impl);
+              if o2.checks > o1.checks then
+                Alcotest.failf "%s/%s/%s increased checks %d -> %d"
+                  (Config.scheme_name scheme) (Config.kind_name kind)
+                  (Universe.mode_name impl) o1.checks o2.checks)
+            [ Universe.All_implications; Universe.No_implications ])
+        Config.extended_schemes)
+    [ Config.PRX; Config.INX ]
+
+let test_lls_eliminates_most (b : B.benchmark) () =
+  let ir = ir_of b in
+  let o1 = Nascent_interp.Run.run ir in
+  let opt, _ = Core.Optimizer.optimize ~config:(Config.make ~scheme:Config.LLS ()) ir in
+  let o2 = Nascent_interp.Run.run opt in
+  let pct = 100.0 *. float_of_int (o1.checks - o2.checks) /. float_of_int o1.checks in
+  Alcotest.(check bool) (Fmt.str "LLS eliminates %.1f%% (>= 80)" pct) true (pct >= 80.0)
+
+let per_benchmark =
+  List.concat_map
+    (fun b ->
+      [
+        tc (b.B.name ^ ": compiles") (test_compiles b);
+        tc (b.B.name ^ ": runs clean") (test_runs_clean b);
+        tc (b.B.name ^ ": check ratio") (test_check_ratio b);
+        tc (b.B.name ^ ": all configs sound") (test_all_configs_sound b);
+        tc (b.B.name ^ ": LLS eliminates most") (test_lls_eliminates_most b);
+      ])
+    B.all
+
+let test_suite_has_ten () = Alcotest.(check int) "ten benchmarks" 10 (List.length B.all)
+
+let test_distinct_names () =
+  let names = List.map (fun b -> b.B.name) B.all in
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare names))
+
+let suite =
+  tc "suite has ten programs" test_suite_has_ten
+  :: tc "distinct names" test_distinct_names
+  :: per_benchmark

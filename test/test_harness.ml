@@ -1,0 +1,67 @@
+(* Smoke tests for the experiment harness's rendering paths: the table
+   printers and figure reproductions must produce the expected
+   structure without raising. *)
+
+open Util
+module E = Nascent_harness.Experiments
+module Report = Nascent_harness.Report
+module Figures = Nascent_harness.Figures
+module Config = Nascent_core.Config
+
+let capture f =
+  let buf = Buffer.create 4096 in
+  let old = Format.get_formatter_output_functions () in
+  Format.set_formatter_output_functions (Buffer.add_substring buf) (fun () -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Format.print_flush ();
+      let out, flush = old in
+      Format.set_formatter_output_functions out flush)
+    f;
+  Buffer.contents buf
+
+let contains ~affix s =
+  let n = String.length affix in
+  let rec go i = i + n <= String.length s && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let chars = lazy (E.characterize_all ())
+
+let test_table1_render () =
+  let s = capture (fun () -> Report.table1 (Lazy.force chars)) in
+  List.iter
+    (fun b -> Alcotest.(check bool) (b ^ " listed") true (contains ~affix:b s))
+    [ "vortex"; "arc2d"; "simple" ];
+  Alcotest.(check bool) "conclusion line" true (contains ~affix:"optimization is warranted" s)
+
+let test_table2_render () =
+  let cs = Lazy.force chars in
+  let s = capture (fun () -> Report.table2 cs (E.table2 ~kinds:[ Config.PRX ] cs)) in
+  List.iter
+    (fun row -> Alcotest.(check bool) (row ^ " row") true (contains ~affix:row s))
+    [ "NI"; "CS"; "LNI"; "SE"; "LLS"; "ALL" ];
+  Alcotest.(check bool) "suite means" true (contains ~affix:"suite means" s)
+
+let test_figures_render () =
+  let s = capture Figures.all in
+  Alcotest.(check bool) "figure 1" true (contains ~affix:"Figure 1" s);
+  Alcotest.(check bool) "figure 5" true (contains ~affix:"Figure 5" s);
+  Alcotest.(check bool) "figure 6" true (contains ~affix:"Figure 6" s);
+  (* Figure 6's transformation must actually show conditional checks *)
+  Alcotest.(check bool) "cond-checks shown" true (contains ~affix:"Cond-check" s);
+  (* Figure 1's staged counts *)
+  Alcotest.(check bool) "naive 4" true (contains ~affix:"(dynamic checks: 4)" s);
+  Alcotest.(check bool) "NI 3" true (contains ~affix:"(dynamic checks: 3)" s);
+  Alcotest.(check bool) "CS 2" true (contains ~affix:"(dynamic checks: 2)" s)
+
+let test_canon_render () =
+  let s = capture (fun () -> Report.canon (E.canon_ablation (Lazy.force chars))) in
+  Alcotest.(check bool) "mentions gcd" true (contains ~affix:"gcd" s)
+
+let suite =
+  [
+    tc "table1 renders" test_table1_render;
+    tc "table2 renders" test_table2_render;
+    tc "figures render" test_figures_render;
+    tc "canon renders" test_canon_render;
+  ]

@@ -1,0 +1,280 @@
+(* End-to-end tests of lowering + the instrumented interpreter on
+   naive-checked programs. *)
+
+open Util
+
+let test_arith () =
+  let o = run_source "program t\ninteger x\nx = 2 + 3 * 4\nprint x\nend" in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 14 ] (printed_ints o)
+
+let test_real_arith () =
+  let o = run_source "program t\nreal x\nx = 1.5 * 4.0\nprint x\nend" in
+  check_no_trap o;
+  match o.printed with
+  | [ Nascent_interp.Value.VReal f ] -> Alcotest.(check (float 1e-9)) "x" 6.0 f
+  | _ -> Alcotest.fail "expected one real"
+
+let test_int_promotes_to_real () =
+  let o = run_source "program t\nreal x\nx = 1 + 0.5\nprint x\nend" in
+  check_no_trap o;
+  match o.printed with
+  | [ Nascent_interp.Value.VReal f ] -> Alcotest.(check (float 1e-9)) "x" 1.5 f
+  | _ -> Alcotest.fail "expected one real"
+
+let test_intrinsics () =
+  let o =
+    run_source
+      "program t\ninteger x\nx = mod(7, 3) + min(4, 2) + max(4, 2) + abs(-3)\nprint x\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 1 + 2 + 4 + 3 ] (printed_ints o)
+
+let test_if_branches () =
+  let o =
+    run_source
+      "program t\ninteger n, r\nn = 5\nif n > 3 then\nr = 1\nelse\nr = 2\nendif\nprint r\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 1 ] (printed_ints o)
+
+let test_do_loop_sum () =
+  let o =
+    run_source
+      "program t\ninteger i, s\ns = 0\ndo i = 1, 10\ns = s + i\nenddo\nprint s\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 55 ] (printed_ints o)
+
+let test_do_loop_zero_trip () =
+  let o =
+    run_source
+      "program t\ninteger i, s\ns = 0\ndo i = 5, 1\ns = s + 1\nenddo\nprint s\nprint i\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 0; 5 ] (printed_ints o)
+
+let test_do_loop_negative_step () =
+  let o =
+    run_source
+      "program t\ninteger i, s\ns = 0\ndo i = 10, 1, -2\ns = s + i\nenddo\nprint s\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 10 + 8 + 6 + 4 + 2 ] (printed_ints o)
+
+let test_do_bounds_evaluated_once () =
+  (* Fortran semantics: modifying n inside the loop does not change the
+     trip count. *)
+  let o =
+    run_source
+      "program t\ninteger i, n, s\nn = 5\ns = 0\ndo i = 1, n\nn = 0\ns = s + 1\nenddo\nprint s\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 5 ] (printed_ints o)
+
+let test_while_loop () =
+  let o =
+    run_source
+      "program t\ninteger n\nn = 1\nwhile n < 100 do\nn = n * 2\nendwhile\nprint n\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 128 ] (printed_ints o)
+
+let test_array_store_load () =
+  let o =
+    run_source
+      "program t\ninteger i, a(1:10)\ndo i = 1, 10\na(i) = i * i\nenddo\nprint a(7)\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 49 ] (printed_ints o)
+
+let test_array_nonunit_lower_bound () =
+  let o =
+    run_source
+      "program t\ninteger a(5:10)\na(5) = 1\na(10) = 2\nprint a(5) + a(10)\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 3 ] (printed_ints o)
+
+let test_array_2d () =
+  let o =
+    run_source
+      "program t\n\
+       integer i, j, m(1:3, 1:4)\n\
+       do i = 1, 3\n\
+       do j = 1, 4\n\
+       m(i, j) = 10 * i + j\n\
+       enddo\n\
+       enddo\n\
+       print m(2, 3)\n\
+       end"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 23 ] (printed_ints o)
+
+let test_trap_upper () =
+  let o = run_source "program t\ninteger a(1:10), n\nn = 11\na(n) = 0\nend" in
+  trap_expected o
+
+let test_trap_lower () =
+  let o = run_source "program t\ninteger a(5:10), n\nn = 4\na(n) = 0\nend" in
+  trap_expected o
+
+let test_trap_on_load () =
+  let o = run_source "program t\ninteger a(1:10), n, x\nn = 0\nx = a(n)\nend" in
+  trap_expected o
+
+let test_no_trap_at_bounds () =
+  let o = run_source "program t\ninteger a(1:10)\na(1) = 1\na(10) = 1\nend" in
+  check_no_trap o
+
+let test_checks_counted () =
+  (* 10 iterations, 1 store with 1 dim = 2 checks per iteration. *)
+  let o =
+    run_source "program t\ninteger i, a(1:10)\ndo i = 1, 10\na(i) = 0\nenddo\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check int) "dynamic checks" 20 o.checks
+
+let test_checks_counted_2d () =
+  let o =
+    run_source
+      "program t\ninteger i, m(1:3, 1:4)\ndo i = 1, 3\nm(i, 2) = 0\nenddo\nend"
+  in
+  check_no_trap o;
+  Alcotest.(check int) "dynamic checks" (3 * 4) o.checks
+
+let test_symbolic_bounds () =
+  let o =
+    run_source
+      "program t\n\
+       integer n\n\
+       n = 6\n\
+       call fill(n)\n\
+       end\n\
+       subroutine fill(n)\n\
+       integer n, i, a(1:n)\n\
+       do i = 1, n\n\
+       a(i) = i\n\
+       enddo\n\
+       print a(n)\n\
+       end"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 6 ] (printed_ints o)
+
+let test_symbolic_bounds_fixed_at_entry () =
+  (* Reassigning n inside the subroutine must not move the array bound:
+     a is dimensioned with the entry value of n. *)
+  let o =
+    run_source
+      "program t\n\
+       integer n\n\
+       n = 6\n\
+       call f(n)\n\
+       end\n\
+       subroutine f(n)\n\
+       integer n, a(1:n)\n\
+       n = 3\n\
+       a(5) = 1\n\
+       print a(5)\n\
+       end"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 1 ] (printed_ints o)
+
+let test_call_scalar_by_value () =
+  let o =
+    run_source
+      "program t\n\
+       integer n\n\
+       n = 5\n\
+       call bump(n)\n\
+       print n\n\
+       end\n\
+       subroutine bump(k)\n\
+       integer k\n\
+       k = k + 1\n\
+       print k\n\
+       end"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 6; 5 ] (printed_ints o)
+
+let test_call_array_by_reference () =
+  let o =
+    run_source
+      "program t\n\
+       integer a(1:5)\n\
+       call setone(a)\n\
+       print a(3)\n\
+       end\n\
+       subroutine setone(b)\n\
+       integer i, b(1:5)\n\
+       do i = 1, 5\n\
+       b(i) = 1\n\
+       enddo\n\
+       end"
+  in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 1 ] (printed_ints o)
+
+let test_division_by_zero_is_error () =
+  let o = run_source "program t\ninteger x, y\ny = 0\nx = 1 / y\nend" in
+  Alcotest.(check bool) "error" true (o.error <> None);
+  Alcotest.(check (option string)) "no trap" None o.trap
+
+let test_fuel_exhaustion () =
+  let o =
+    run_source ~fuel:1000 "program t\ninteger n\nwhile 1 < 2 do\nn = n + 1\nendwhile\nend"
+  in
+  Alcotest.(check bool) "fuel exhausted" true o.fuel_exhausted
+
+let test_return_stops_unit () =
+  let o = run_source "program t\ninteger n\nn = 1\nprint n\nreturn\nprint 2\nend" in
+  check_no_trap o;
+  Alcotest.(check (list int)) "output" [ 1 ] (printed_ints o)
+
+let test_strip_checks () =
+  let ir = ir_of_source "program t\ninteger i, a(1:10)\ndo i = 1, 10\na(i) = 0\nenddo\nend" in
+  let bare = Nascent_ir.Transform.strip_checks ir in
+  let o = Nascent_interp.Run.run bare in
+  Alcotest.(check int) "no checks" 0 o.checks;
+  let o2 = Nascent_interp.Run.run ir in
+  Alcotest.(check int) "original unchanged" 20 o2.checks
+
+let test_instr_counts_positive () =
+  let o = run_source "program t\ninteger x\nx = 1\nend" in
+  Alcotest.(check bool) "instrs > 0" true (o.instrs > 0)
+
+let suite =
+  [
+    tc "arith" test_arith;
+    tc "real arith" test_real_arith;
+    tc "int promotes to real" test_int_promotes_to_real;
+    tc "intrinsics" test_intrinsics;
+    tc "if branches" test_if_branches;
+    tc "do loop sum" test_do_loop_sum;
+    tc "do loop zero trip" test_do_loop_zero_trip;
+    tc "do loop negative step" test_do_loop_negative_step;
+    tc "do bounds evaluated once" test_do_bounds_evaluated_once;
+    tc "while loop" test_while_loop;
+    tc "array store/load" test_array_store_load;
+    tc "array non-unit lower bound" test_array_nonunit_lower_bound;
+    tc "array 2d" test_array_2d;
+    tc "trap: upper" test_trap_upper;
+    tc "trap: lower" test_trap_lower;
+    tc "trap: on load" test_trap_on_load;
+    tc "no trap at bounds" test_no_trap_at_bounds;
+    tc "checks counted" test_checks_counted;
+    tc "checks counted 2d" test_checks_counted_2d;
+    tc "symbolic bounds" test_symbolic_bounds;
+    tc "symbolic bounds fixed at entry" test_symbolic_bounds_fixed_at_entry;
+    tc "call: scalar by value" test_call_scalar_by_value;
+    tc "call: array by reference" test_call_array_by_reference;
+    tc "division by zero is error" test_division_by_zero_is_error;
+    tc "fuel exhaustion" test_fuel_exhaustion;
+    tc "return stops unit" test_return_stops_unit;
+    tc "strip checks" test_strip_checks;
+    tc "instr counts positive" test_instr_counts_positive;
+  ]

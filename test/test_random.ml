@@ -1,0 +1,294 @@
+(* Property-based soundness fuzzing: random MiniF programs, every
+   placement scheme.
+
+   The invariants are the paper's behaviour-preservation contract
+   (section 3): for every generated program and every configuration,
+   the optimized program
+   - traps iff the naive program traps,
+   - errors iff the naive program errors,
+   - prints the same values when neither happens,
+   - never performs more dynamic checks,
+   and optimization is idempotent in behaviour (a second round changes
+   nothing observable).
+
+   Programs are generated as source text over a fixed declaration pool,
+   with subscripts biased towards—but not limited to—in-range values,
+   so both trapping and clean executions are exercised. All loops are
+   bounded by construction; a fuel limit is a backstop only. *)
+
+module Ir = Nascent_ir
+module Core = Nascent_core
+module Config = Core.Config
+module Universe = Nascent_checks.Universe
+module Run = Nascent_interp.Run
+module G = QCheck.Gen
+
+(* --- generator -------------------------------------------------------- *)
+
+let int_vars = [ "i"; "j"; "k"; "n"; "m" ]
+
+(* (name, dimension spec, in-range index upper bound) *)
+let arrays = [ ("a", "(1:10)", 10); ("b", "(0:19)", 19); ("c", "(1:6, 1:6)", 6) ]
+
+let gen_var = G.oneofl int_vars
+
+let rec gen_int_expr depth : string G.t =
+  if depth = 0 then G.oneof [ G.map string_of_int (G.int_range (-3) 25); gen_var ]
+  else
+    G.frequency
+      [
+        (2, G.map string_of_int (G.int_range (-3) 25));
+        (3, gen_var);
+        ( 2,
+          G.map2 (Printf.sprintf "(%s + %s)") (gen_int_expr (depth - 1))
+            (gen_int_expr (depth - 1)) );
+        ( 2,
+          G.map2 (Printf.sprintf "(%s - %s)") (gen_int_expr (depth - 1))
+            (gen_int_expr (depth - 1)) );
+        ( 1,
+          G.map2
+            (fun c e -> Printf.sprintf "(%d * %s)" c e)
+            (G.int_range (-2) 3) (gen_int_expr (depth - 1)) );
+        ( 1,
+          G.map2
+            (fun e c -> Printf.sprintf "mod(%s, %d)" e c)
+            (gen_int_expr (depth - 1)) (G.int_range 1 7) );
+        (1, G.map (Printf.sprintf "a(%s)") (gen_idx (depth - 1)));
+        (1, G.map (Printf.sprintf "b(%s)") (gen_idx (depth - 1)));
+      ]
+
+(* subscripts: mostly safe shapes, occasionally wild *)
+and gen_idx depth : string G.t =
+  G.frequency
+    [
+      (3, gen_var);
+      (3, G.map string_of_int (G.int_range 1 6));
+      (3, G.map (Printf.sprintf "(mod(%s, 5) + 1)") gen_var);
+      (2, G.map (Printf.sprintf "(%s + 1)") gen_var);
+      (2, G.map (Printf.sprintf "(%s - 1)") gen_var);
+      (1, G.map (Printf.sprintf "(2 * %s - 1)") gen_var);
+      (1, if depth > 0 then gen_int_expr (depth - 1) else gen_var);
+    ]
+
+let gen_rel = G.oneofl [ "<"; "<="; ">"; ">="; "="; "/=" ]
+
+let gen_cond depth =
+  G.map3
+    (fun a op b -> Printf.sprintf "%s %s %s" a op b)
+    (gen_int_expr depth) gen_rel (gen_int_expr depth)
+
+let indent n = String.make (2 * n) ' '
+
+(* [busy] holds the indices of enclosing do loops: Fortran (and our
+   sema) forbid assigning them or reusing them as nested indices. *)
+let rec gen_stmts ~depth ~budget ~level ~busy : string list G.t =
+  if budget <= 0 then G.return []
+  else
+    let open G in
+    gen_stmt ~depth ~budget ~level ~busy >>= fun (s, used) ->
+    gen_stmts ~depth ~budget:(budget - used) ~level ~busy >>= fun rest -> return (s @ rest)
+
+and gen_stmt ~depth ~budget ~level ~busy : (string list * int) G.t =
+  let open G in
+  let pad = indent level in
+  let assignable = List.filter (fun v -> not (List.mem v busy)) int_vars in
+  let assign =
+    map2
+      (fun v e -> ([ Printf.sprintf "%s%s = %s" pad v e ], 1))
+      (oneofl assignable) (gen_int_expr 2)
+  in
+  let store =
+    let arr1 =
+      map2
+        (fun (a, _, _) (i, e) -> ([ Printf.sprintf "%s%s(%s) = %s" pad a i e ], 1))
+        (oneofl [ List.nth arrays 0; List.nth arrays 1 ])
+        (pair (gen_idx 1) (gen_int_expr 2))
+    in
+    let arr2 =
+      map3
+        (fun i1 i2 e -> ([ Printf.sprintf "%sc(%s, %s) = %s" pad i1 i2 e ], 1))
+        (gen_idx 0) (gen_idx 0) (gen_int_expr 1)
+    in
+    frequency [ (3, arr1); (1, arr2) ]
+  in
+  let print_stmt = map (fun e -> ([ Printf.sprintf "%sprint %s" pad e ], 1)) (gen_int_expr 1) in
+  let if_stmt =
+    if depth = 0 then assign
+    else
+      gen_cond 1 >>= fun cond ->
+      gen_stmts ~depth:(depth - 1) ~budget:(min budget 3) ~level:(level + 1) ~busy
+      >>= fun then_ ->
+      gen_stmts ~depth:(depth - 1) ~budget:2 ~level:(level + 1) ~busy >>= fun else_ ->
+      return
+        ( [ Printf.sprintf "%sif %s then" pad cond ]
+          @ then_
+          @ (if else_ = [] then [] else (Printf.sprintf "%selse" pad) :: else_)
+          @ [ Printf.sprintf "%sendif" pad ],
+          2 )
+  in
+  let do_candidates = List.filter (fun v -> not (List.mem v busy)) [ "i"; "j"; "k" ] in
+  let do_stmt =
+    if depth = 0 || do_candidates = [] then store
+    else
+      oneofl do_candidates >>= fun v ->
+      oneofl [ (1, 6, ""); (0, 5, ""); (1, 8, ", 2"); (6, 1, ", -1") ]
+      >>= fun (lo, hi, step) ->
+      (* occasionally a symbolic bound *)
+      oneofl [ string_of_int hi; "n"; string_of_int hi ] >>= fun hi_s ->
+      gen_stmts ~depth:(depth - 1) ~budget:(min budget 4) ~level:(level + 1)
+        ~busy:(v :: busy)
+      >>= fun body ->
+      return
+        ( [ Printf.sprintf "%sdo %s = %d, %s%s" pad v lo hi_s step ]
+          @ body
+          @ [ Printf.sprintf "%senddo" pad ],
+          3 )
+  in
+  let while_stmt =
+    if depth = 0 || List.mem "m" busy then assign
+    else
+      int_range 1 5 >>= fun count ->
+      (* the body must not reassign the counter, or the loop may never
+         terminate (m oscillating above zero forever) *)
+      gen_stmts ~depth:(depth - 1) ~budget:(min budget 3) ~level:(level + 1)
+        ~busy:("m" :: busy)
+      >>= fun body ->
+      return
+        ( [
+            Printf.sprintf "%sm = %d" pad count;
+            Printf.sprintf "%swhile m > 0 do" pad;
+          ]
+          @ body
+          @ [ Printf.sprintf "%s  m = m - 1" pad; Printf.sprintf "%sendwhile" pad ],
+          3 )
+  in
+  frequency
+    [ (4, assign); (4, store); (1, print_stmt); (2, if_stmt); (3, do_stmt); (1, while_stmt) ]
+
+let gen_program : string G.t =
+  let open G in
+  int_range 0 12 >>= fun n0 ->
+  gen_stmts ~depth:3 ~budget:8 ~level:1 ~busy:[] >>= fun body ->
+  let decls =
+    [
+      "program fuzz";
+      "  integer i, j, k, n, m";
+      Printf.sprintf "  integer a%s, b%s, c%s"
+        (let _, d, _ = List.nth arrays 0 in
+         d)
+        (let _, d, _ = List.nth arrays 1 in
+         d)
+        (let _, d, _ = List.nth arrays 2 in
+         d);
+      Printf.sprintf "  n = %d" n0;
+      "  m = 1";
+      "  i = 1";
+      "  j = 2";
+      "  k = 3";
+    ]
+  in
+  let tail = [ "  print i + j + k + n + m"; "end" ] in
+  return (String.concat "\n" (decls @ body @ tail))
+
+(* --- the property ------------------------------------------------------ *)
+
+let fuel = 400_000
+
+let configs =
+  List.concat_map
+    (fun kind ->
+      List.map (fun scheme -> Config.make ~scheme ~kind ()) Config.extended_schemes)
+    [ Config.PRX; Config.INX ]
+  @ [
+      Config.make ~scheme:Config.NI ~impl:Universe.No_implications ();
+      Config.make ~scheme:Config.SE ~impl:Universe.No_implications ();
+      Config.make ~scheme:Config.LLS ~impl:Universe.Cross_family_only ();
+      Config.make ~scheme:Config.LLS ~kind:Config.INX ~impl:Universe.Cross_family_only ();
+    ]
+
+let outcome_key (o : Run.outcome) =
+  ( o.Run.trap <> None,
+    o.Run.error <> None,
+    if o.Run.trap = None && o.Run.error = None then o.Run.printed else [] )
+
+let check_program src =
+  let ir =
+    try Ir.Lower.of_source src
+    with e ->
+      QCheck.Test.fail_reportf "generated program rejected: %s@.%s" (Printexc.to_string e)
+        src
+  in
+  let o1 = Run.run ~fuel ir in
+  if o1.Run.fuel_exhausted then true (* pathological nesting: skip *)
+  else begin
+    List.iter
+      (fun config ->
+        let opt, _ = Core.Optimizer.optimize ~config ir in
+        let o2 = Run.run ~fuel opt in
+        if o2.Run.fuel_exhausted then
+          QCheck.Test.fail_reportf "optimized ran out of fuel under %a:@.%s" Config.pp
+            config src;
+        if outcome_key o1 <> outcome_key o2 then
+          QCheck.Test.fail_reportf
+            "behaviour change under %a:@.%s@.naive: %a@.optimized: %a" Config.pp config
+            src Run.pp_outcome o1 Run.pp_outcome o2;
+        (* Dynamic check counts are monotone for NI/CS/LI/LLS. The PRE
+           placements are down-safe but not always profitable — the
+           paper's Figure 5 shows SE adding checks on one path — so for
+           SE/LNI/ALL we only bound the damage. *)
+        let monotone =
+          match config.Config.scheme with
+          | Config.NI | Config.CS | Config.LI | Config.LLS | Config.MCM -> true
+          | Config.SE | Config.LNI | Config.ALL -> false
+        in
+        if o1.Run.trap = None && o1.Run.error = None then begin
+          if monotone && o2.Run.checks > o1.Run.checks then
+            QCheck.Test.fail_reportf "%a increased dynamic checks %d -> %d:@.%s"
+              Config.pp config o1.Run.checks o2.Run.checks src;
+          if (not monotone) && o2.Run.checks > (2 * o1.Run.checks) + 16 then
+            QCheck.Test.fail_reportf "%a exploded dynamic checks %d -> %d:@.%s" Config.pp
+              config o1.Run.checks o2.Run.checks src
+        end;
+        (* idempotence in behaviour: optimizing again changes nothing
+           observable and removes nothing unsoundly *)
+        let opt2, _ = Core.Optimizer.optimize ~config opt in
+        let o3 = Run.run ~fuel opt2 in
+        if outcome_key o2 <> outcome_key o3 then
+          QCheck.Test.fail_reportf "second optimization changed behaviour under %a:@.%s"
+            Config.pp config src)
+      configs;
+    true
+  end
+
+let prop_soundness =
+  QCheck.Test.make ~name:"random programs: every config sound" ~count:60
+    (QCheck.make gen_program) check_program
+
+(* The generator must produce a healthy mix of outcomes, or the
+   soundness property would be vacuous (e.g. everything trapping on the
+   first statement). *)
+let test_generator_diversity () =
+  let rand = Random.State.make [| 0x5eed |] in
+  let clean = ref 0 and traps = ref 0 and with_checks = ref 0 and loops = ref 0 in
+  for _ = 1 to 50 do
+    let src = QCheck.Gen.generate1 ~rand gen_program in
+    let ir = Ir.Lower.of_source src in
+    let o = Run.run ~fuel ir in
+    if o.Run.trap <> None then incr traps;
+    if o.Run.trap = None && o.Run.error = None && not o.Run.fuel_exhausted then
+      incr clean;
+    if o.Run.checks > 0 then incr with_checks;
+    let f = Ir.Program.main_func ir in
+    if Nascent_analysis.Loops.compute f <> [] then incr loops
+  done;
+  Alcotest.(check bool) (Fmt.str "clean runs (%d)" !clean) true (!clean >= 10);
+  Alcotest.(check bool) (Fmt.str "trapping runs (%d)" !traps) true (!traps >= 5);
+  Alcotest.(check bool) (Fmt.str "programs with checks (%d)" !with_checks) true
+    (!with_checks >= 45);
+  Alcotest.(check bool) (Fmt.str "programs with loops (%d)" !loops) true (!loops >= 25)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_soundness;
+    Util.tc "generator diversity" test_generator_diversity;
+  ]

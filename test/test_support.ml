@@ -1,0 +1,142 @@
+(* Unit and property tests for the support library (Bitset, Vec). *)
+
+open Util
+module Bitset = Nascent_support.Bitset
+module Vec = Nascent_support.Vec
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem b 0);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem b 64);
+  Alcotest.(check bool) "mem 99" true (Bitset.mem b 99);
+  Alcotest.(check bool) "not mem 50" false (Bitset.mem b 50);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check (list int)) "elements" [ 0; 64; 99 ] (Bitset.elements b)
+
+let test_bitset_full () =
+  let b = Bitset.full 70 in
+  Alcotest.(check int) "cardinal" 70 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem 69" true (Bitset.mem b 69);
+  Bitset.clear b;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty b)
+
+let test_bitset_fill_respects_universe () =
+  let b = Bitset.create 65 in
+  Bitset.fill b;
+  Alcotest.(check int) "cardinal" 65 (Bitset.cardinal b);
+  (* equality with a freshly built full set, exercising the last-word mask *)
+  Alcotest.(check bool) "equal to full" true (Bitset.equal b (Bitset.full 65))
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list 32 [ 1; 5; 9 ] in
+  let b = Bitset.of_list 32 [ 5; 9; 13 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into ~into:u b;
+  Alcotest.(check (list int)) "union" [ 1; 5; 9; 13 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~into:i b;
+  Alcotest.(check (list int)) "inter" [ 5; 9 ] (Bitset.elements i);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~into:d b;
+  Alcotest.(check (list int)) "diff" [ 1 ] (Bitset.elements d);
+  Alcotest.(check bool) "subset" true (Bitset.subset i a);
+  Alcotest.(check bool) "not subset" false (Bitset.subset a i);
+  Alcotest.(check bool) "disjoint" true (Bitset.disjoint d i);
+  Alcotest.(check bool) "not disjoint" false (Bitset.disjoint a b)
+
+let test_bitset_universe_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 20 in
+  match Bitset.union_into ~into:a b with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected universe mismatch"
+
+let test_bitset_out_of_range () =
+  let a = Bitset.create 10 in
+  (match Bitset.add a 10 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected range error");
+  match Bitset.mem a (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected range error"
+
+let test_bitset_zero_universe () =
+  let b = Bitset.create 0 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.fill b;
+  Alcotest.(check int) "still empty" 0 (Bitset.cardinal b)
+
+(* properties *)
+
+let elems_gen = QCheck.(small_list (int_bound 199))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/elements roundtrip" elems_gen (fun xs ->
+      let b = Bitset.of_list 200 xs in
+      Bitset.elements b = List.sort_uniq compare xs)
+
+let prop_union_cardinal =
+  QCheck.Test.make ~name:"bitset |A∪B| + |A∩B| = |A| + |B|"
+    QCheck.(pair elems_gen elems_gen)
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 200 xs and b = Bitset.of_list 200 ys in
+      let u = Bitset.copy a and i = Bitset.copy a in
+      Bitset.union_into ~into:u b;
+      Bitset.inter_into ~into:i b;
+      Bitset.cardinal u + Bitset.cardinal i = Bitset.cardinal a + Bitset.cardinal b)
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"bitset A \\ B = A ∩ ¬B via diff"
+    QCheck.(pair elems_gen elems_gen)
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 200 xs and b = Bitset.of_list 200 ys in
+      let d = Bitset.copy a in
+      Bitset.diff_into ~into:d b;
+      List.for_all (fun x -> Bitset.mem a x && not (Bitset.mem b x)) (Bitset.elements d)
+      && List.for_all
+           (fun x -> (not (List.mem x ys)) || not (Bitset.mem d x))
+           (List.sort_uniq compare xs))
+
+let test_vec_basic () =
+  let v = Vec.create ~dummy:0 in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    ignore (Vec.push v i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 42" 42 (Vec.get v 42);
+  Vec.set v 42 1000;
+  Alcotest.(check int) "set" 1000 (Vec.get v 42);
+  Alcotest.(check int) "fold" (List.fold_left ( + ) 0 (Vec.to_list v))
+    (Vec.fold ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 1000) v)
+
+let test_vec_bounds () =
+  let v = Vec.create ~dummy:0 in
+  ignore (Vec.push v 1);
+  match Vec.get v 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bounds error"
+
+let suite =
+  [
+    tc "bitset: basic" test_bitset_basic;
+    tc "bitset: full" test_bitset_full;
+    tc "bitset: fill respects universe" test_bitset_fill_respects_universe;
+    tc "bitset: set ops" test_bitset_set_ops;
+    tc "bitset: universe mismatch" test_bitset_universe_mismatch;
+    tc "bitset: out of range" test_bitset_out_of_range;
+    tc "bitset: zero universe" test_bitset_zero_universe;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_union_cardinal;
+    QCheck_alcotest.to_alcotest prop_demorgan;
+    tc "vec: basic" test_vec_basic;
+    tc "vec: bounds" test_vec_bounds;
+  ]

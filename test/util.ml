@@ -1,0 +1,32 @@
+(* Shared helpers for the test suites. *)
+
+module Frontend = Nascent_frontend.Frontend
+module Ast = Nascent_frontend.Ast
+module Ir = Nascent_ir
+module Interp = Nascent_interp
+
+let analyze_exn = Frontend.analyze_exn
+
+(* Source text -> naive-checked IR. *)
+let ir_of_source src = Ir.Lower.of_source src
+
+let run_source ?fuel src = Interp.Run.run ?fuel (ir_of_source src)
+
+let check_no_trap (o : Interp.Run.outcome) =
+  Alcotest.(check (option string)) "no trap" None o.trap;
+  Alcotest.(check (option string)) "no error" None o.error;
+  Alcotest.(check bool) "fuel ok" false o.fuel_exhausted
+
+let printed_ints (o : Interp.Run.outcome) =
+  List.map
+    (function
+      | Interp.Value.VInt n -> n
+      | v -> Alcotest.failf "expected integer output, got %a" Interp.Value.pp v)
+    o.printed
+
+let trap_expected (o : Interp.Run.outcome) =
+  match o.trap with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a range-check trap"
+
+let tc name f = Alcotest.test_case name `Quick f
