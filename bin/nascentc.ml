@@ -5,7 +5,12 @@
      dump FILE         lower (and optionally optimize) then print the IR
      run FILE          execute with the instrumented interpreter
      stats FILE        compare all placement schemes on one program
+     verify [FILE]     IR invariant verification across the config matrix
      bench NAME        run a built-in benchmark program by name
+
+   The optimizing commands accept --verify BOOL (IR verification
+   between passes, default on), --trace (per-pass logging) and
+   --stats-json FILE (per-pass timing/counter records as JSON).
 *)
 
 module Ir = Nascent_ir
@@ -33,12 +38,16 @@ let load_source path =
         exit 1
 
 (* Frontend and lowering failures raise; report them as diagnostics
-   rather than letting cmdliner dump a backtrace. *)
+   rather than letting cmdliner dump a backtrace. A verifier violation
+   is a distinct exit code: the input was fine, a pass broke the IR. *)
 let with_errors f =
   try f () with
   | Failure msg | Ir.Lower.Lower_error msg ->
       Fmt.epr "nascentc: %s@." msg;
       1
+  | Ir.Verify.Invalid_ir msg ->
+      Fmt.epr "nascentc: %s@." msg;
+      3
 
 (* --- common arguments ------------------------------------------------- *)
 
@@ -89,6 +98,36 @@ let impl_arg =
     & info [ "i"; "implications" ] ~docv:"MODE"
         ~doc:"Check implication mode: all, cross (cross-family only) or none.")
 
+let verify_arg =
+  Arg.(
+    value
+    & opt bool true
+    & info [ "verify" ] ~docv:"BOOL"
+        ~doc:"Run the IR invariant verifier between optimizer passes (default true).")
+
+let trace_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "trace" ]
+        ~doc:"Trace optimizer passes (per-pass timing, check counts, verification) to stderr.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write optimizer statistics, including the per-pass breakdown, to $(docv) as JSON.")
+
+let setup_trace trace =
+  if trace then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Core.Optimizer.log_src (Some Logs.Debug)
+  end
+
+let write_json path json =
+  Out_channel.with_open_text path (fun oc -> output_string oc json)
+
 let naive_arg =
   Arg.(value & flag & info [ "naive" ] ~doc:"Skip optimization (naive checking).")
 
@@ -100,8 +139,8 @@ let fuel_arg =
 
 let config_term =
   Term.(
-    const (fun scheme kind impl -> Config.make ~scheme ~kind ~impl ())
-    $ scheme_arg $ kind_arg $ impl_arg)
+    const (fun scheme kind impl verify -> Config.make ~scheme ~kind ~impl ~verify ())
+    $ scheme_arg $ kind_arg $ impl_arg $ verify_arg)
 
 (* --- commands ---------------------------------------------------------- *)
 
@@ -128,50 +167,136 @@ let optimize_source src config ~naive =
 
 let cmd_dump =
   let doc = "Lower (and optimize) a program, then print its IR." in
-  let run file config naive =
+  let run file config naive trace json =
     with_errors @@ fun () ->
+    setup_trace trace;
     let prog, stats = optimize_source (load_source file) config ~naive in
     Option.iter (Fmt.pr "! %a@.@." Core.Optimizer.pp_stats) stats;
+    (match (stats, json) with
+    | Some st, Some path -> write_json path (Core.Optimizer.stats_to_json st)
+    | _ -> ());
     Fmt.pr "%s@." (Ir.Printer.program_to_string prog);
     0
   in
-  Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ file_arg $ config_term $ naive_arg)
+  Cmd.v (Cmd.info "dump" ~doc)
+    Term.(const run $ file_arg $ config_term $ naive_arg $ trace_arg $ stats_json_arg)
 
 let cmd_run =
   let doc = "Execute a program under the instrumented interpreter." in
-  let run file config naive fuel =
+  let run file config naive fuel trace json =
     with_errors @@ fun () ->
-    let prog, _ = optimize_source (load_source file) config ~naive in
+    setup_trace trace;
+    let prog, stats = optimize_source (load_source file) config ~naive in
+    (match (stats, json) with
+    | Some st, Some path -> write_json path (Core.Optimizer.stats_to_json st)
+    | _ -> ());
     let o = Run.run ~fuel prog in
     Fmt.pr "%a@." Run.pp_outcome o;
     if o.Run.trap <> None || o.Run.error <> None then 2 else 0
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ file_arg $ config_term $ naive_arg $ fuel_arg)
+    Term.(
+      const run $ file_arg $ config_term $ naive_arg $ fuel_arg $ trace_arg
+      $ stats_json_arg)
 
 let cmd_stats =
   let doc = "Compare every placement scheme on one program." in
-  let run file kind =
+  let run file kind verify trace json =
     with_errors @@ fun () ->
+    setup_trace trace;
     let src = load_source file in
     let ir = Ir.Lower.of_source src in
     let o0 = Run.run ir in
     Fmt.pr "naive: %d dynamic checks, %d instruction units@." o0.Run.checks o0.Run.instrs;
     Fmt.pr "%-6s %12s %12s %9s@." "scheme" "checks" "%eliminated" "time(ms)";
-    List.iter
-      (fun scheme ->
-        let config = Config.make ~scheme ~kind () in
-        let opt, stats = Core.Optimizer.optimize ~config ir in
-        let o = Run.run opt in
-        Fmt.pr "%-6s %12d %11.2f%% %9.2f@." (Config.scheme_name scheme) o.Run.checks
-          (100.0
-          *. float_of_int (o0.Run.checks - o.Run.checks)
-          /. float_of_int (max 1 o0.Run.checks))
-          (1000.0 *. stats.Core.Optimizer.elapsed_s))
-      Config.extended_schemes;
+    let all_stats =
+      List.map
+        (fun scheme ->
+          let config = Config.make ~scheme ~kind ~verify () in
+          let opt, stats = Core.Optimizer.optimize ~config ir in
+          let o = Run.run opt in
+          Fmt.pr "%-6s %12d %11.2f%% %9.2f@." (Config.scheme_name scheme) o.Run.checks
+            (100.0
+            *. float_of_int (o0.Run.checks - o.Run.checks)
+            /. float_of_int (max 1 o0.Run.checks))
+            (1000.0 *. stats.Core.Optimizer.elapsed_s);
+          stats)
+        Config.extended_schemes
+    in
+    Option.iter
+      (fun path ->
+        write_json path
+          ("[\n"
+          ^ String.concat ",\n" (List.map Core.Optimizer.stats_to_json all_stats)
+          ^ "]\n"))
+      json;
     0
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file_arg $ kind_arg)
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ file_arg $ kind_arg $ verify_arg $ trace_arg $ stats_json_arg)
+
+let cmd_verify =
+  let doc =
+    "Verify IR invariants between optimizer passes across the full configuration \
+     matrix (every scheme, check kind and implication mode), on one program or on \
+     all built-in benchmarks."
+  in
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "MiniF source file or built-in benchmark name; all built-in benchmarks \
+             when omitted.")
+  in
+  let run file trace =
+    with_errors @@ fun () ->
+    setup_trace trace;
+    let targets =
+      match file with
+      | Some f -> [ (f, load_source f) ]
+      | None -> List.map (fun b -> (b.B.name, b.B.source)) B.all
+    in
+    let impls =
+      [ Universe.All_implications; Universe.Cross_family_only; Universe.No_implications ]
+    in
+    let failures = ref 0 and configs = ref 0 in
+    List.iter
+      (fun (name, src) ->
+        let ir = Ir.Lower.of_source src in
+        (match Ir.Verify.program ir with
+        | [] -> ()
+        | vs ->
+            incr failures;
+            List.iter (fun v -> Fmt.epr "%s (lowered): %a@." name Ir.Verify.pp_violation v) vs);
+        List.iter
+          (fun scheme ->
+            List.iter
+              (fun kind ->
+                List.iter
+                  (fun impl ->
+                    incr configs;
+                    let config = Config.make ~scheme ~kind ~impl ~verify:true () in
+                    try ignore (Core.Optimizer.optimize ~config ir)
+                    with Ir.Verify.Invalid_ir msg ->
+                      incr failures;
+                      Fmt.epr "%s under %a:@.%s@." name Config.pp config msg)
+                  impls)
+                [ Config.PRX; Config.INX ])
+          Config.extended_schemes)
+      targets;
+    if !failures = 0 then begin
+      Fmt.pr "verified %d program(s) under %d configuration(s): no violations@."
+        (List.length targets) !configs;
+      0
+    end
+    else begin
+      Fmt.epr "%d verification failure(s)@." !failures;
+      1
+    end
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ file_opt_arg $ trace_arg)
 
 let cmd_list =
   let doc = "List the built-in benchmark programs." in
@@ -186,4 +311,6 @@ let cmd_list =
 let () =
   let doc = "range-check optimizer for MiniF (Kolte & Wolfe, PLDI 1995)" in
   let info = Cmd.info "nascentc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ cmd_check; cmd_dump; cmd_run; cmd_stats; cmd_list ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ cmd_check; cmd_dump; cmd_run; cmd_stats; cmd_verify; cmd_list ]))

@@ -32,6 +32,31 @@ let solve (f : Func.t) ~universe ~direction ~(boundary : Bitset.t)
   let mk_full () = Array.init n (fun _ -> Bitset.full universe) in
   let in_ = mk_full () and out = mk_full () in
   let preds = Func.preds_array f in
+  (* Backward boundary: a block in a no-exit region (an SCC with no
+     path to any successor-less block — an infinite loop built directly
+     in the IR) has no terminating path, so the maximal fixed point
+     would keep the optimistic full set there and anticipatability
+     would claim checks that no execution realizes. Such blocks are
+     boundary blocks too: no path to an exit means nothing is
+     anticipated along one. *)
+  let reaches_exit =
+    match direction with
+    | Forward -> [||]
+    | Backward ->
+        let r = Array.make n false in
+        let rec mark b =
+          if not r.(b) then begin
+            r.(b) <- true;
+            List.iter mark preds.(b)
+          end
+        in
+        Func.iter_blocks
+          (fun b ->
+            let bid = b.Nascent_ir.Types.bid in
+            if Func.succs f bid = [] then mark bid)
+          f;
+        r
+  in
   let rpo = Func.rpo f in
   let order = match direction with Forward -> rpo | Backward -> List.rev rpo in
   let entry = f.Func.entry in
@@ -49,7 +74,9 @@ let solve (f : Func.t) ~universe ~direction ~(boundary : Bitset.t)
         let is_boundary =
           match direction with
           | Forward -> b = entry
-          | Backward -> conf_sources = [] (* exit blocks *)
+          | Backward ->
+              (* exit blocks, plus blocks that cannot reach one *)
+              conf_sources = [] || not reaches_exit.(b)
         in
         if is_boundary then Bitset.assign ~into:conf_target boundary
         else begin

@@ -15,7 +15,8 @@ module Loops = Nascent_analysis.Loops
 
 type t = {
   func : Ir.Func.t;
-  loops : Loops.loop list; (* innermost-first *)
+  mutable loops : Loops.loop list; (* innermost-first; see [refresh] *)
+  mutable loops_num_blocks : int; (* block count [loops] was computed at *)
   cig : Cig.t;
   mode : Universe.mode;
   site_check : Ir.Types.check_meta -> Check.t;
@@ -33,12 +34,24 @@ let create_prx ~mode (func : Ir.Func.t) : t =
   {
     func;
     loops = Loops.compute func;
+    loops_num_blocks = Ir.Func.num_blocks func;
     cig = Cig.create ();
     mode;
     site_check = (fun m -> m.Ir.Types.chk);
     instr_kill_keys = prx_kills func.Ir.Func.atoms;
     block_entry_kill_keys = (fun _ -> []);
   }
+
+(* The context is built once per function (canonicalizing every check
+   and interning families is the expensive part) and shared by all
+   passes; only the loop structure can go stale — edge splitting adds
+   blocks — so recompute it exactly when the block count moved. *)
+let refresh (t : t) : unit =
+  let n = Ir.Func.num_blocks t.func in
+  if n <> t.loops_num_blocks then begin
+    t.loops <- Loops.compute t.func;
+    t.loops_num_blocks <- n
+  end
 
 (* Build the frozen check universe from the checks currently present in
    the function (placement passes rebuild it after inserting). *)

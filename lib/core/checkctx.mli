@@ -12,7 +12,10 @@
 
 type t = {
   func : Nascent_ir.Func.t;
-  loops : Nascent_analysis.Loops.loop list;  (** innermost-first *)
+  mutable loops : Nascent_analysis.Loops.loop list;
+      (** innermost-first; kept fresh via {!refresh} *)
+  mutable loops_num_blocks : int;
+      (** block count {!loops} was computed at *)
   cig : Nascent_checks.Cig.t;
   mode : Nascent_checks.Universe.mode;
   site_check : Nascent_ir.Types.check_meta -> Nascent_checks.Check.t;
@@ -24,6 +27,14 @@ val create_prx : mode:Nascent_checks.Universe.mode -> Nascent_ir.Func.t -> t
 (** The standard context: site checks are the instructions' own
     canonical checks; assignments kill their variable's atoms, stores
     and calls kill load-bearing opaque atoms. *)
+
+val refresh : t -> unit
+(** Recompute the loop structure if a pass changed the CFG shape (edge
+    splitting adds blocks). Cheap no-op when the block count is
+    unchanged; the rest of the context — atom kills, site checks, the
+    CIG — depends only on the atom table and stays valid, which is why
+    one context can serve the whole pass pipeline instead of being
+    rebuilt (and every check re-canonicalized) per pass. *)
 
 val universe : t -> Nascent_checks.Universe.t
 (** Freeze the checks currently present in the function into a

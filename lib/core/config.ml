@@ -26,12 +26,18 @@ type t = {
   scheme : scheme;
   kind : check_kind;
   impl : Universe.mode; (* Table 3's implication ablation axis *)
+  verify : bool;
+      (* run the IR invariant verifier between optimizer steps; on by
+         default (and in tests), disabled by the benchmark harness so
+         Table 2/3 compile-time columns measure only the passes *)
 }
 
-let default = { scheme = LLS; kind = PRX; impl = Universe.All_implications }
+let default =
+  { scheme = LLS; kind = PRX; impl = Universe.All_implications; verify = true }
 
-let make ?(scheme = LLS) ?(kind = PRX) ?(impl = Universe.All_implications) () =
-  { scheme; kind; impl }
+let make ?(scheme = LLS) ?(kind = PRX) ?(impl = Universe.All_implications)
+    ?(verify = true) () =
+  { scheme; kind; impl; verify }
 
 let scheme_name = function
   | NI -> "NI"

@@ -24,12 +24,22 @@ type t = {
   scheme : scheme;
   kind : check_kind;
   impl : Universe.mode;  (** Table 3's implication ablation axis *)
+  verify : bool;
+      (** run the IR invariant verifier ({!Nascent_ir.Verify}) between
+          optimizer steps; on by default, disabled by the benchmark
+          harness for timing runs *)
 }
 
 val default : t
-(** LLS / PRX / all implications — the paper's winner. *)
+(** LLS / PRX / all implications / verify — the paper's winner. *)
 
-val make : ?scheme:scheme -> ?kind:check_kind -> ?impl:Universe.mode -> unit -> t
+val make :
+  ?scheme:scheme ->
+  ?kind:check_kind ->
+  ?impl:Universe.mode ->
+  ?verify:bool ->
+  unit ->
+  t
 
 val scheme_name : scheme -> string
 val scheme_of_name : string -> scheme option

@@ -79,7 +79,10 @@ let redundancy_elimination (env : Analyses.env) (st : stats) : unit =
    instructions reported to the programmer. Conditional checks also
    fold their guard when it is constant. *)
 let compile_time_checks (f : Ir.Func.t) (st : stats) : unit =
-  let fold_check (m : check_meta) ~(guard : expr option) : instr option =
+  (* [orig] is returned whenever the instruction is unchanged so the
+     verifier's physical-identity diff sees only genuine rewrites. *)
+  let fold_check ~(orig : instr) (m : check_meta) ~(guard : expr option) :
+      instr option =
     match Check.compile_time_value m.chk with
     | Some true ->
         st.compile_time_deleted <- st.compile_time_deleted + 1;
@@ -102,17 +105,17 @@ let compile_time_checks (f : Ir.Func.t) (st : stats) : unit =
             | Cbool false ->
                 st.compile_time_deleted <- st.compile_time_deleted + 1;
                 None
-            | g -> Some (Cond_check (g, m))))
+            | g' -> if Expr.equal g' g then Some orig else Some (Cond_check (g', m))))
     | None -> (
         match guard with
-        | None -> Some (Check m)
+        | None -> Some orig
         | Some g -> (
             match Expr.fold g with
-            | Cbool true -> Some (Check m)
+            | Cbool true -> Some (Check m) (* guard statically true: unconditional *)
             | Cbool false ->
                 st.compile_time_deleted <- st.compile_time_deleted + 1;
                 None
-            | g -> Some (Cond_check (g, m))))
+            | g' -> if Expr.equal g' g then Some orig else Some (Cond_check (g', m))))
   in
   Ir.Func.iter_blocks
     (fun b ->
@@ -120,8 +123,8 @@ let compile_time_checks (f : Ir.Func.t) (st : stats) : unit =
         List.filter_map
           (fun i ->
             match i with
-            | Check m -> fold_check m ~guard:None
-            | Cond_check (g, m) -> fold_check m ~guard:(Some g)
+            | Check m -> fold_check ~orig:i m ~guard:None
+            | Cond_check (g, m) -> fold_check ~orig:i m ~guard:(Some g)
             | _ -> Some i)
           b.instrs)
     f

@@ -8,9 +8,28 @@
    4. compute availability, eliminate redundant — {!Eliminate};
    5. evaluate compile-time checks              — {!Eliminate.compile_time_checks}.
 
-   The input program is not modified: optimization runs on a copy. *)
+   The input program is not modified: optimization runs on a copy.
+
+   Observability: every step is timed with a monotonic clock and
+   recorded as a {!pass_stat}; with [Config.verify] set, a snapshot is
+   taken before each step and {!Nascent_ir.Verify} checks the result
+   against the step's differential rules. Per-pass progress is traced
+   on the "nascent.optimizer" log source at debug level. *)
 
 module Ir = Nascent_ir
+module Mclock = Nascent_support.Mclock
+
+let log_src =
+  Logs.Src.create "nascent.optimizer" ~doc:"Range-check optimizer pass pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type pass_stat = {
+  pass : string;
+  pass_time_s : float;
+  pass_checks_before : int;
+  pass_checks_after : int;
+}
 
 type stats = {
   config : Config.t;
@@ -25,7 +44,8 @@ type stats = {
   compile_time_traps : int;
   static_checks_before : int;
   static_checks_after : int;
-  elapsed_s : float; (* wall-clock optimization time, Table 2/3's Range column *)
+  passes : pass_stat list; (* pipeline order *)
+  elapsed_s : float; (* monotonic optimization time, Table 2/3's Range column *)
 }
 
 let empty_stats config =
@@ -42,8 +62,29 @@ let empty_stats config =
     compile_time_traps = 0;
     static_checks_before = 0;
     static_checks_after = 0;
+    passes = [];
     elapsed_s = 0.0;
   }
+
+(* Merge per-pass records by pass name, keeping [a]'s pipeline order
+   and appending passes only [b] ran. *)
+let merge_passes (a : pass_stat list) (b : pass_stat list) : pass_stat list =
+  List.fold_left
+    (fun acc p ->
+      if List.exists (fun q -> q.pass = p.pass) acc then
+        List.map
+          (fun q ->
+            if q.pass = p.pass then
+              {
+                q with
+                pass_time_s = q.pass_time_s +. p.pass_time_s;
+                pass_checks_before = q.pass_checks_before + p.pass_checks_before;
+                pass_checks_after = q.pass_checks_after + p.pass_checks_after;
+              }
+            else q)
+          acc
+      else acc @ [ p ])
+    a b
 
 let add a b =
   {
@@ -59,31 +100,79 @@ let add a b =
     compile_time_traps = a.compile_time_traps + b.compile_time_traps;
     static_checks_before = a.static_checks_before + b.static_checks_before;
     static_checks_after = a.static_checks_after + b.static_checks_after;
+    passes = merge_passes a.passes b.passes;
     elapsed_s = a.elapsed_s +. b.elapsed_s;
   }
 
 (* Optimize one function in place. *)
 let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.counter () in
+  let verify = config.Config.verify in
   let _, checks_before = Ir.Func.static_counts f in
+  if verify then Ir.Verify.func_exn ~pass:Ir.Verify.Lowered f;
+  let passes = ref [] in
+  (* Time [body], record its pass stats, and — when verifying — check
+     the function against [vpass]'s differential rules relative to a
+     snapshot taken just before. [vpass = None] marks steps that do not
+     mutate the IR (context construction), which are timed but not
+     re-verified. *)
+  let run_pass name ?vpass body =
+    let before =
+      match vpass with
+      | Some _ when verify -> Some (Ir.Transform.copy_func f)
+      | _ -> None
+    in
+    let _, cb = Ir.Func.static_counts f in
+    let t = Mclock.counter () in
+    let result = body () in
+    let dt = Mclock.elapsed_s t in
+    let _, ca = Ir.Func.static_counts f in
+    (match (vpass, before) with
+    | Some pass, Some before -> Ir.Verify.func_exn ~pass ~before f
+    | _ -> ());
+    passes :=
+      { pass = name; pass_time_s = dt; pass_checks_before = cb; pass_checks_after = ca }
+      :: !passes;
+    Log.debug (fun m ->
+        m "%s: %-12s checks %3d -> %3d  %8.3f ms%s" f.Ir.Func.fname name cb ca
+          (1000.0 *. dt)
+          (if verify && vpass <> None then "  [verified]" else ""));
+    result
+  in
   (* INX: rewrite checks into induction-expression form first, so every
      later pass sees induction checks (section 2.3). *)
-  if config.Config.kind = Config.INX then ignore (Induction_rewrite.run f);
-  let fresh_ctx () = Checkctx.create_prx ~mode:config.Config.impl f in
+  if config.Config.kind = Config.INX then
+    ignore
+      (run_pass "inx-rewrite" ~vpass:Ir.Verify.Rewrite (fun () ->
+           Induction_rewrite.run f));
+  (* The context — canonical site checks, kill oracles, loop structure,
+     CIG — is built once and shared by every pass; [Checkctx.refresh]
+     revalidates the loop structure after CFG-shaping passes instead of
+     rebuilding (and re-canonicalizing) from scratch. *)
+  let ctx = run_pass "context" (fun () -> Checkctx.create_prx ~mode:config.Config.impl f) in
   let st = ref (empty_stats config) in
   (match config.Config.scheme with
   | Config.NI -> ()
   | Config.CS ->
-      let s = Strengthen.run (fresh_ctx ()) in
+      let s = run_pass "strengthen" ~vpass:Ir.Verify.Strengthen (fun () -> Strengthen.run ctx) in
       st := { !st with strengthened = s.Strengthen.strengthened }
   | Config.SE ->
-      let s = Lazy_motion.run (fresh_ctx ()) ~placement:Lazy_motion.Safe_earliest in
+      let s =
+        run_pass "pre-insert" ~vpass:Ir.Verify.Code_motion (fun () ->
+            Lazy_motion.run ctx ~placement:Lazy_motion.Safe_earliest)
+      in
       st := { !st with pre_inserted = s.Lazy_motion.inserted }
   | Config.LNI ->
-      let s = Lazy_motion.run (fresh_ctx ()) ~placement:Lazy_motion.Latest_not_isolated in
+      let s =
+        run_pass "pre-insert" ~vpass:Ir.Verify.Code_motion (fun () ->
+            Lazy_motion.run ctx ~placement:Lazy_motion.Latest_not_isolated)
+      in
       st := { !st with pre_inserted = s.Lazy_motion.inserted }
   | Config.LI ->
-      let s = Preheader.run (fresh_ctx ()) ~variant:Preheader.Invariant_only in
+      let s =
+        run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
+            Preheader.run ctx ~variant:Preheader.Invariant_only)
+      in
       st :=
         {
           !st with
@@ -92,7 +181,10 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
           plain_inserted = s.Preheader.plain_inserted;
         }
   | Config.LLS ->
-      let s = Preheader.run (fresh_ctx ()) ~variant:Preheader.Loop_limit in
+      let s =
+        run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
+            Preheader.run ctx ~variant:Preheader.Loop_limit)
+      in
       st :=
         {
           !st with
@@ -102,7 +194,10 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
           plain_inserted = s.Preheader.plain_inserted;
         }
   | Config.MCM ->
-      let s = Preheader.run (fresh_ctx ()) ~variant:Preheader.Markstein in
+      let s =
+        run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
+            Preheader.run ctx ~variant:Preheader.Markstein)
+      in
       st :=
         {
           !st with
@@ -112,8 +207,15 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
           plain_inserted = s.Preheader.plain_inserted;
         }
   | Config.ALL ->
-      let s1 = Preheader.run (fresh_ctx ()) ~variant:Preheader.Loop_limit in
-      let s2 = Lazy_motion.run (fresh_ctx ()) ~placement:Lazy_motion.Safe_earliest in
+      let s1 =
+        run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
+            Preheader.run ctx ~variant:Preheader.Loop_limit)
+      in
+      let s2 =
+        run_pass "pre-insert" ~vpass:Ir.Verify.Code_motion (fun () ->
+            Checkctx.refresh ctx;
+            Lazy_motion.run ctx ~placement:Lazy_motion.Safe_earliest)
+      in
       st :=
         {
           !st with
@@ -123,17 +225,28 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
           plain_inserted = s1.Preheader.plain_inserted;
           pre_inserted = s2.Lazy_motion.inserted;
         });
-  let e = Eliminate.run (fresh_ctx ()) in
+  let e = Eliminate.new_stats () in
+  run_pass "eliminate" ~vpass:Ir.Verify.Elimination (fun () ->
+      Checkctx.refresh ctx;
+      Eliminate.redundancy_elimination (Analyses.make_env ctx) e);
+  run_pass "fold" ~vpass:Ir.Verify.Fold (fun () -> Eliminate.compile_time_checks f e);
   let _, checks_after = Ir.Func.static_counts f in
-  {
-    !st with
-    redundant_deleted = e.Eliminate.redundant_deleted;
-    compile_time_deleted = e.Eliminate.compile_time_deleted;
-    compile_time_traps = e.Eliminate.compile_time_traps;
-    static_checks_before = checks_before;
-    static_checks_after = checks_after;
-    elapsed_s = Unix.gettimeofday () -. t0;
-  }
+  let result =
+    {
+      !st with
+      redundant_deleted = e.Eliminate.redundant_deleted;
+      compile_time_deleted = e.Eliminate.compile_time_deleted;
+      compile_time_traps = e.Eliminate.compile_time_traps;
+      static_checks_before = checks_before;
+      static_checks_after = checks_after;
+      passes = List.rev !passes;
+      elapsed_s = Mclock.elapsed_s t0;
+    }
+  in
+  Log.info (fun m ->
+      m "%s: %a checks %d -> %d in %.3f ms" f.Ir.Func.fname Config.pp config
+        checks_before checks_after (1000.0 *. result.elapsed_s));
+  result
 
 (* Optimize a whole program, returning the optimized copy and the
    aggregated statistics. *)
@@ -143,6 +256,10 @@ let optimize ?(config = Config.default) (p : Ir.Program.t) : Ir.Program.t * stat
   List.iter (fun f -> st := add !st (optimize_func config f)) (Ir.Program.funcs_sorted q);
   (q, !st)
 
+let pp_pass_stat ppf p =
+  Fmt.pf ppf "%-12s checks %3d -> %3d  %8.3f ms" p.pass p.pass_checks_before
+    p.pass_checks_after (1000.0 *. p.pass_time_s)
+
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "@[<v>config: %a@,\
@@ -150,8 +267,44 @@ let pp_stats ppf (s : stats) =
      strengthened: %d, PRE-inserted: %d@,\
      hoisted: %d invariant + %d linear (%d cond + %d plain inserted)@,\
      deleted: %d redundant + %d compile-time (%d traps)@,\
+     %a@,\
      time: %.4fs@]"
     Config.pp s.config s.static_checks_before s.static_checks_after s.strengthened
     s.pre_inserted s.hoisted_invariant s.hoisted_linear s.guards_inserted
     s.plain_inserted s.redundant_deleted s.compile_time_deleted s.compile_time_traps
-    s.elapsed_s
+    (Fmt.list pp_pass_stat) s.passes s.elapsed_s
+
+(* Hand-rolled JSON (no JSON library in the tree): every emitted value
+   is a number or a fixed-alphabet name, so quoting is trivial. *)
+let stats_to_json (s : stats) : string =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.bprintf buf fmt in
+  pf "{\n";
+  pf "  \"config\": {\"scheme\": %S, \"kind\": %S, \"impl\": %S, \"verify\": %b},\n"
+    (Config.scheme_name s.config.Config.scheme)
+    (Config.kind_name s.config.Config.kind)
+    (Nascent_checks.Universe.mode_name s.config.Config.impl)
+    s.config.Config.verify;
+  pf "  \"static_checks_before\": %d,\n" s.static_checks_before;
+  pf "  \"static_checks_after\": %d,\n" s.static_checks_after;
+  pf "  \"strengthened\": %d,\n" s.strengthened;
+  pf "  \"pre_inserted\": %d,\n" s.pre_inserted;
+  pf "  \"hoisted_invariant\": %d,\n" s.hoisted_invariant;
+  pf "  \"hoisted_linear\": %d,\n" s.hoisted_linear;
+  pf "  \"guards_inserted\": %d,\n" s.guards_inserted;
+  pf "  \"plain_inserted\": %d,\n" s.plain_inserted;
+  pf "  \"redundant_deleted\": %d,\n" s.redundant_deleted;
+  pf "  \"compile_time_deleted\": %d,\n" s.compile_time_deleted;
+  pf "  \"compile_time_traps\": %d,\n" s.compile_time_traps;
+  pf "  \"elapsed_s\": %.9f,\n" s.elapsed_s;
+  pf "  \"passes\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then pf ",";
+      pf
+        "\n    {\"pass\": %S, \"time_s\": %.9f, \"checks_before\": %d, \
+         \"checks_after\": %d}"
+        p.pass p.pass_time_s p.pass_checks_before p.pass_checks_after)
+    s.passes;
+  pf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -14,7 +14,24 @@
     benchmark matrix and on random programs): the optimized program
     traps iff the original does and no later, prints the same values,
     and — for the non-PRE schemes — never performs more dynamic
-    checks. *)
+    checks.
+
+    When [Config.verify] is set, {!Nascent_ir.Verify} additionally
+    checks the IR between every step (raising
+    {!Nascent_ir.Verify.Invalid_ir} on a violation), and every step is
+    always timed with a monotonic clock into per-pass {!pass_stat}
+    records. Pass progress is traced on the {!log_src} log source at
+    debug level. *)
+
+val log_src : Logs.src
+(** The ["nascent.optimizer"] log source carrying per-pass traces. *)
+
+type pass_stat = {
+  pass : string;  (** "context", "strengthen", "hoist", "eliminate", ... *)
+  pass_time_s : float;  (** monotonic; summed across functions by {!add} *)
+  pass_checks_before : int;
+  pass_checks_after : int;
+}
 
 type stats = {
   config : Config.t;
@@ -29,19 +46,29 @@ type stats = {
   compile_time_traps : int;
   static_checks_before : int;
   static_checks_after : int;
+  passes : pass_stat list;  (** pipeline order *)
   elapsed_s : float;
-      (** wall-clock optimization time — Table 2/3's "Range" column *)
+      (** monotonic optimization time — Table 2/3's "Range" column *)
 }
 
 val empty_stats : Config.t -> stats
+
 val add : stats -> stats -> stats
+(** Sums counters and per-pass records (merged by pass name). *)
 
 val optimize_func : Config.t -> Nascent_ir.Func.t -> stats
-(** Optimize one function in place. *)
+(** Optimize one function in place.
+    @raise Nascent_ir.Verify.Invalid_ir when [Config.verify] is set and
+    a pass breaks an IR invariant. *)
 
 val optimize :
   ?config:Config.t -> Nascent_ir.Program.t -> Nascent_ir.Program.t * stats
 (** Optimize a whole program. The input is not modified: optimization
     runs on a copy, which is returned with aggregated statistics. *)
 
+val pp_pass_stat : pass_stat Fmt.t
 val pp_stats : stats Fmt.t
+
+val stats_to_json : stats -> string
+(** Stable JSON rendering of {!stats} (including the per-pass
+    breakdown) for the [--stats-json] CLI flag. *)

@@ -69,13 +69,18 @@ type cell = {
   dyn_checks_after : int;
   range_time_s : float; (* optimization phase *)
   compile_time_s : float; (* parse + lower + optimize *)
+  pass_times : (string * float) list; (* per-pass range-time breakdown *)
 }
 
 let run_config (c : characteristics) (config : Config.t) : cell =
-  let t0 = Unix.gettimeofday () in
+  (* Timing run: the invariant verifier is a measurement harness, not a
+     compiler pass, so it is switched off here (the test suite runs the
+     same matrix with it on). *)
+  let config = { config with Config.verify = false } in
+  let t0 = Nascent_support.Mclock.counter () in
   let ir = Ir.Lower.of_source c.bench.B.source in
   let opt, stats = Core.Optimizer.optimize ~config ir in
-  let compile_time_s = Unix.gettimeofday () -. t0 in
+  let compile_time_s = Nascent_support.Mclock.elapsed_s t0 in
   let o = Run.run opt in
   (match (o.Run.trap, o.Run.error) with
   | None, None -> ()
@@ -89,6 +94,10 @@ let run_config (c : characteristics) (config : Config.t) : cell =
     dyn_checks_after = o.Run.checks;
     range_time_s = stats.Core.Optimizer.elapsed_s;
     compile_time_s;
+    pass_times =
+      List.map
+        (fun p -> (p.Core.Optimizer.pass, p.Core.Optimizer.pass_time_s))
+        stats.Core.Optimizer.passes;
   }
 
 (* A table row: one (scheme, kind, impl) configuration across all
@@ -99,7 +108,20 @@ type row = {
   cells : cell list; (* one per program, suite order *)
   total_range_s : float;
   total_compile_s : float;
+  pass_totals : (string * float) list; (* suite-summed per-pass breakdown *)
 }
+
+(* Sum per-pass times across the suite, keeping pipeline order. *)
+let sum_pass_times (cells : cell list) : (string * float) list =
+  List.fold_left
+    (fun acc c ->
+      List.fold_left
+        (fun acc (name, t) ->
+          if List.mem_assoc name acc then
+            List.map (fun (n, t0) -> if n = name then (n, t0 +. t) else (n, t0)) acc
+          else acc @ [ (name, t) ])
+        acc c.pass_times)
+    [] cells
 
 let run_row ?label (chars : characteristics list) (config : Config.t) : row =
   let cells = List.map (fun c -> run_config c config) chars in
@@ -110,6 +132,7 @@ let run_row ?label (chars : characteristics list) (config : Config.t) : row =
     cells;
     total_range_s = List.fold_left (fun a c -> a +. c.range_time_s) 0.0 cells;
     total_compile_s = List.fold_left (fun a c -> a +. c.compile_time_s) 0.0 cells;
+    pass_totals = sum_pass_times cells;
   }
 
 (* Table 2: the seven placement schemes x {PRX, INX}, full implications. *)

@@ -61,6 +61,19 @@ let pct_table ~title (chars : E.characteristics list)
           pf "%9.3f %9.3f@." r.E.total_range_s r.E.total_compile_s)
         rows)
     groups;
+  hrule w;
+  (* the Range column, decomposed: suite-summed monotonic time per
+     optimizer pass *)
+  pf "per-pass range-time breakdown (suite totals, ms):@.";
+  List.iter
+    (fun (kind, rows) ->
+      List.iter
+        (fun (r : E.row) ->
+          pf "  %s/%-8s" (Config.kind_name kind) r.E.label;
+          List.iter (fun (name, t) -> pf " %s %.3f" name (1000.0 *. t)) r.E.pass_totals;
+          pf "@.")
+        rows)
+    groups;
   hrule w
 
 let table2 chars groups =

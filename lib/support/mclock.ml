@@ -1,0 +1,12 @@
+(* Monotonic timing. [Unix.gettimeofday] is wall-clock time and steps
+   backwards under NTP adjustment, which made Table 2/3 compile-time
+   columns occasionally negative; bechamel's monotonic clock (a thin
+   binding over CLOCK_MONOTONIC) cannot. *)
+
+type counter = int64
+
+let counter () : counter = Monotonic_clock.now ()
+
+let elapsed_ns (c : counter) : int64 = Int64.sub (Monotonic_clock.now ()) c
+
+let elapsed_s (c : counter) : float = Int64.to_float (elapsed_ns c) /. 1e9

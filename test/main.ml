@@ -6,6 +6,7 @@ let () =
       ("frontend", Test_frontend.suite);
       ("analysis", Test_analysis.suite);
       ("ir", Test_ir.suite);
+      ("verify", Test_verify.suite);
       ("interp", Test_interp.suite);
       ("optimizer", Test_optimizer.suite);
       ("core-passes", Test_core_passes.suite);

@@ -264,6 +264,34 @@ let test_solver_backward () =
   Alcotest.(check bool) "one arm => not anticipatable" false
     (Bitset.mem r2.Dataflow.in_.(f.Ir.Func.entry) 0)
 
+(* Regression: a CFG region with no path to any exit block. The solver
+   used to leave such blocks at the optimistic full set — the backward
+   boundary only applies at successor-less blocks, and an infinite loop
+   has none — reporting facts "anticipatable" with no witness on any
+   path. They must be forced to the pessimistic empty set instead. *)
+let test_solver_backward_no_exit () =
+  let f = Ir.Func.create ~name:"inf" ~params:[] in
+  let b0 = Ir.Func.new_block f in
+  let b1 = Ir.Func.new_block f in
+  b0.Ir.Types.term <- Ir.Types.Goto b1.Ir.Types.bid;
+  b1.Ir.Types.term <- Ir.Types.Goto b1.Ir.Types.bid;
+  let n = Ir.Func.num_blocks f in
+  (* nothing is generated anywhere, so nothing may be anticipatable *)
+  let transfer =
+    Array.init n (fun _ ->
+        { Dataflow.gen = Bitset.create 1; kill = Bitset.create 1 })
+  in
+  let r =
+    Dataflow.solve f ~universe:1 ~direction:Dataflow.Backward
+      ~boundary:(Bitset.create 1) ~transfer
+  in
+  for b = 0 to n - 1 do
+    Alcotest.(check bool) (Fmt.str "B%d in empty" b) true
+      (Bitset.is_empty r.Dataflow.in_.(b));
+    Alcotest.(check bool) (Fmt.str "B%d out empty" b) true
+      (Bitset.is_empty r.Dataflow.out.(b))
+  done
+
 let suite =
   [
     tc "dom: entry dominates all" test_dom_entry_dominates_all;
@@ -280,4 +308,5 @@ let suite =
     tc "solver: must confluence" test_solver_must_confluence;
     tc "solver: kill" test_solver_kill;
     tc "solver: backward" test_solver_backward;
+    tc "solver: backward, no exit" test_solver_backward_no_exit;
   ]

@@ -224,6 +224,13 @@ let check_program src =
     List.iter
       (fun config ->
         let opt, _ = Core.Optimizer.optimize ~config ir in
+        (* every config above verifies between passes (Config.make
+           defaults verify:true); this checks the final output too *)
+        (match Ir.Verify.program opt with
+        | [] -> ()
+        | vs ->
+            QCheck.Test.fail_reportf "verifier rejects output under %a:@.%a@.%s"
+              Config.pp config (Fmt.list Ir.Verify.pp_violation) vs src);
         let o2 = Run.run ~fuel opt in
         if o2.Run.fuel_exhausted then
           QCheck.Test.fail_reportf "optimized ran out of fuel under %a:@.%s" Config.pp

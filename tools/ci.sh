@@ -1,0 +1,5 @@
+#!/bin/sh
+# One-command CI gate: build + tests + verifier sweep (the @ci alias).
+set -eu
+cd "$(dirname "$0")/.."
+exec dune build @ci
