@@ -3,10 +3,18 @@
    times the optimizer configurations with Bechamel (one Test.make
    group per table).
 
+   Table generation fans the (benchmark × config) matrix over the
+   domain pool (NASCENT_JOBS, default: host core count) and serves
+   repeated cells from the content-addressed cache; per-target cache
+   hit/miss counts are reported after each table.
+
    Usage:
      dune exec bench/main.exe               # everything
      dune exec bench/main.exe -- table1     # just Table 1
      dune exec bench/main.exe -- table2 | table3 | figures | canon | bech
+     dune exec bench/main.exe -- tables     # tables only, no Bechamel (CI mode)
+     dune exec bench/main.exe -- check-determinism  # serial vs parallel vs warm cache
+     dune exec bench/main.exe -- speedup    # serial vs parallel wall-clock, JSON record
 *)
 
 module E = Nascent_harness.Experiments
@@ -14,24 +22,156 @@ module Report = Nascent_harness.Report
 module Figures = Nascent_harness.Figures
 module Config = Nascent_core.Config
 module B = Nascent_benchmarks.Suite
+module Pool = Nascent_support.Pool
+module Memo = Nascent_support.Memo
+module Mclock = Nascent_support.Mclock
 
 let chars = lazy (E.characterize_all ())
+
+(* Per-target cache accounting: delta of the cell cache counters. *)
+let with_cache_report what f =
+  let b = E.cell_cache_stats () in
+  f ();
+  let a = E.cell_cache_stats () in
+  Printf.printf "[cache] %s: %d hit(s) (%d from disk), %d miss(es), jobs=%d\n%!" what
+    (a.Memo.hits - b.Memo.hits)
+    (a.Memo.disk_hits - b.Memo.disk_hits)
+    (a.Memo.misses - b.Memo.misses)
+    (Pool.default_jobs ())
 
 let run_table1 () = Report.table1 (Lazy.force chars)
 
 let run_table2 () =
+  with_cache_report "table2" @@ fun () ->
   let chars = Lazy.force chars in
   Report.table2 chars (E.table2 chars)
 
 let run_table3 () =
+  with_cache_report "table3" @@ fun () ->
   let chars = Lazy.force chars in
   Report.table3 chars (E.table3 chars)
 
 let run_canon () = Report.canon (E.canon_ablation (Lazy.force chars))
 
 let run_extensions () =
+  with_cache_report "extensions" @@ fun () ->
   let chars = Lazy.force chars in
   Report.extensions chars (E.extensions chars)
+
+(* Table-only mode: everything except the Bechamel timers, for CI. *)
+let run_tables () =
+  run_table1 ();
+  run_table2 ();
+  run_table3 ();
+  run_extensions ();
+  run_canon ()
+
+(* --- determinism gate: serial vs parallel vs warm cache --------------- *)
+
+(* The full table suite minus timing columns: what must be invariant
+   across pool sizes. Timings (range/compile seconds) legitimately
+   differ between cold runs; everything else diverging means a pool or
+   cache bug, so CI fails on it. *)
+let structural_row (r : E.row) =
+  ( r.E.label,
+    Config.cache_key r.E.config,
+    List.map
+      (fun (c : E.cell) ->
+        (c.E.dyn_checks_after, c.E.pct_eliminated, List.map fst c.E.pass_times))
+      r.E.cells )
+
+let structural tables =
+  List.map
+    (fun (kind, rows) -> (Config.kind_name kind, List.map structural_row rows))
+    (List.concat tables)
+
+let full_suite () =
+  let chars = E.characterize_all () in
+  (chars, [ E.table2 chars; E.table3 chars; E.extensions chars ])
+
+let run_check_determinism () =
+  let par_jobs = max 2 (Pool.default_jobs ()) in
+  print_endline "";
+  Printf.printf "determinism gate: serial vs jobs=%d vs warm cache\n%!" par_jobs;
+  E.reset_cell_cache ();
+  Pool.set_default_jobs 1;
+  let _, serial = full_suite () in
+  let serial_misses = (E.cell_cache_stats ()).Memo.misses in
+  E.reset_cell_cache ();
+  Pool.set_default_jobs par_jobs;
+  let _, parallel = full_suite () in
+  let parallel_misses = (E.cell_cache_stats ()).Memo.misses in
+  if structural serial <> structural parallel then begin
+    Printf.eprintf "FAIL: parallel tables diverge from the serial run\n%!";
+    exit 1
+  end;
+  (* Warm rerun: every cell must come from the cache (zero
+     re-optimizations) and the rows must be byte-identical, timing
+     columns included. *)
+  let before = E.cell_cache_stats () in
+  let _, warm = full_suite () in
+  let after = E.cell_cache_stats () in
+  if after.Memo.misses <> before.Memo.misses then begin
+    Printf.eprintf "FAIL: warm cache rerun re-optimized %d cell(s)\n%!"
+      (after.Memo.misses - before.Memo.misses);
+    exit 1
+  end;
+  if warm <> parallel then begin
+    Printf.eprintf "FAIL: warm cache rerun is not byte-identical\n%!";
+    exit 1
+  end;
+  Printf.printf
+    "determinism gate OK: %d serial cell(s) == %d parallel cell(s), warm rerun \
+     byte-identical with 0 re-optimizations\n\
+     %!"
+    serial_misses parallel_misses
+
+(* --- speedup baseline: serial vs parallel wall-clock ------------------ *)
+
+let speedup_json_path = "BENCH_parallel.json"
+
+let run_speedup () =
+  let par_jobs = max 2 (Pool.default_jobs ()) in
+  (* Cold-cache wall clock of the full table suite (characterization +
+     Tables 2/3 + extensions), monotonic clock. *)
+  let timed jobs =
+    E.reset_cell_cache ();
+    Pool.set_default_jobs jobs;
+    let t0 = Mclock.counter () in
+    ignore (full_suite ());
+    Mclock.elapsed_s t0
+  in
+  let serial_s = timed 1 in
+  let cells = (E.cell_cache_stats ()).Memo.misses in
+  let parallel_s = timed par_jobs in
+  let warm_t0 = Mclock.counter () in
+  ignore (full_suite ());
+  let warm_s = Mclock.elapsed_s warm_t0 in
+  let speedup = serial_s /. parallel_s in
+  Printf.printf
+    "\nspeedup (full table suite, %d cells): serial %.3fs, jobs=%d %.3fs (%.2fx), \
+     warm cache %.3fs (%.1fx)\n\
+     %!"
+    cells serial_s par_jobs parallel_s speedup warm_s (serial_s /. warm_s);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"suite\": \"characterize + table2 + table3 + extensions\",\n\
+      \  \"cells\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"serial_s\": %.6f,\n\
+      \  \"parallel_s\": %.6f,\n\
+      \  \"speedup\": %.4f,\n\
+      \  \"warm_cache_s\": %.6f,\n\
+      \  \"warm_speedup\": %.4f\n\
+       }\n"
+      cells
+      (Domain.recommended_domain_count ())
+      par_jobs serial_s parallel_s speedup warm_s (serial_s /. warm_s)
+  in
+  Out_channel.with_open_text speedup_json_path (fun oc -> output_string oc json);
+  Printf.printf "wrote %s\n%!" speedup_json_path
 
 (* --- Bechamel: one Test.make per table ------------------------------- *)
 
@@ -124,13 +264,12 @@ let () =
     | "figures" -> Figures.all ()
     | "canon" -> run_canon ()
     | "extensions" -> run_extensions ()
+    | "tables" -> run_tables ()
+    | "check-determinism" -> run_check_determinism ()
+    | "speedup" -> run_speedup ()
     | "bech" -> run_bech ()
     | "all" ->
-        run_table1 ();
-        run_table2 ();
-        run_table3 ();
-        run_extensions ();
-        run_canon ();
+        run_tables ();
         Figures.all ();
         run_bech ()
     | other ->

@@ -112,6 +112,19 @@ let trace_arg =
     & info [ "trace" ]
         ~doc:"Trace optimizer passes (per-pass timing, check counts, verification) to stderr.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan independent (program × scheme × kind × implication) cells over \
+           $(docv) domains; 1 forces the serial path. Defaults to $(b,NASCENT_JOBS) \
+           or the host's recommended domain count. Results are deterministic \
+           regardless of $(docv).")
+
+let setup_jobs jobs = Option.iter Nascent_support.Pool.set_default_jobs jobs
+
 let stats_json_arg =
   Arg.(
     value
@@ -250,9 +263,10 @@ let cmd_verify =
             "MiniF source file or built-in benchmark name; all built-in benchmarks \
              when omitted.")
   in
-  let run file trace =
+  let run file trace jobs =
     with_errors @@ fun () ->
     setup_trace trace;
+    setup_jobs jobs;
     let targets =
       match file with
       | Some f -> [ (f, load_source f) ]
@@ -261,34 +275,59 @@ let cmd_verify =
     let impls =
       [ Universe.All_implications; Universe.Cross_family_only; Universe.No_implications ]
     in
-    let failures = ref 0 and configs = ref 0 in
-    List.iter
-      (fun (name, src) ->
-        let ir = Ir.Lower.of_source src in
-        (match Ir.Verify.program ir with
-        | [] -> ()
-        | vs ->
-            incr failures;
-            List.iter (fun v -> Fmt.epr "%s (lowered): %a@." name Ir.Verify.pp_violation v) vs);
-        List.iter
-          (fun scheme ->
-            List.iter
-              (fun kind ->
-                List.iter
-                  (fun impl ->
-                    incr configs;
-                    let config = Config.make ~scheme ~kind ~impl ~verify:true () in
-                    try ignore (Core.Optimizer.optimize ~config ir)
-                    with Ir.Verify.Invalid_ir msg ->
-                      incr failures;
-                      Fmt.epr "%s under %a:@.%s@." name Config.pp config msg)
-                  impls)
+    let failures = ref 0 in
+    let lowered =
+      List.map
+        (fun (name, src) ->
+          let ir = Ir.Lower.of_source src in
+          (match Ir.Verify.program ir with
+          | [] -> ()
+          | vs ->
+              incr failures;
+              List.iter
+                (fun v -> Fmt.epr "%s (lowered): %a@." name Ir.Verify.pp_violation v)
+                vs);
+          (name, ir))
+        targets
+    in
+    (* The matrix cells are independent — each optimizes its own copy —
+       so they fan out over the domain pool; failures are collected and
+       reported afterwards in deterministic matrix order. *)
+    let cells =
+      List.concat_map
+        (fun (name, ir) ->
+          List.concat_map
+            (fun scheme ->
+              List.concat_map
+                (fun kind ->
+                  List.map
+                    (fun impl ->
+                      (name, ir, Config.make ~scheme ~kind ~impl ~verify:true ()))
+                    impls)
                 [ Config.PRX; Config.INX ])
-          Config.extended_schemes)
-      targets;
+            Config.extended_schemes)
+        lowered
+    in
+    let outcomes =
+      Nascent_support.Pool.parallel_map
+        (Nascent_support.Pool.global ())
+        (fun (name, ir, config) ->
+          match Core.Optimizer.optimize ~config ir with
+          | _ -> None
+          | exception Ir.Verify.Invalid_ir msg -> Some (name, config, msg))
+        cells
+    in
+    List.iter
+      (function
+        | None -> ()
+        | Some (name, config, msg) ->
+            incr failures;
+            Fmt.epr "%s under %a:@.%s@." name Config.pp config msg)
+      outcomes;
     if !failures = 0 then begin
-      Fmt.pr "verified %d program(s) under %d configuration(s): no violations@."
-        (List.length targets) !configs;
+      Fmt.pr "verified %d program(s) under %d configuration(s) (jobs=%d): no violations@."
+        (List.length targets) (List.length cells)
+        (Nascent_support.Pool.default_jobs ());
       0
     end
     else begin
@@ -296,7 +335,7 @@ let cmd_verify =
       1
     end
   in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ file_opt_arg $ trace_arg)
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ file_opt_arg $ trace_arg $ jobs_arg)
 
 let cmd_list =
   let doc = "List the built-in benchmark programs." in

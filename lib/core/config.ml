@@ -71,3 +71,12 @@ let extended_schemes = all_schemes @ [ MCM ]
 let pp ppf t =
   Fmt.pf ppf "%s/%s/%s" (scheme_name t.scheme) (kind_name t.kind)
     (Universe.mode_name t.impl)
+
+(* Stable serialization of EVERY axis for content-addressed caching.
+   [verify] is included deliberately: the verifier changes no output,
+   but a cached cell must record exactly the configuration that
+   produced it, so verifier-on and verifier-off runs never share
+   entries. *)
+let cache_key t =
+  Printf.sprintf "%s/%s/%s/verify=%b" (scheme_name t.scheme) (kind_name t.kind)
+    (Universe.mode_name t.impl) t.verify

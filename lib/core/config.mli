@@ -52,3 +52,8 @@ val extended_schemes : scheme list
 (** Everything implemented, including the MCM extension. *)
 
 val pp : t Fmt.t
+
+val cache_key : t -> string
+(** Stable serialization of every axis — scheme, kind, implication
+    mode {e and} [verify] — for use in content-addressed cache keys
+    ({!Nascent_support.Memo}). *)

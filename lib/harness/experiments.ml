@@ -18,6 +18,17 @@ module Config = Core.Config
 module Universe = Nascent_checks.Universe
 module Loops = Nascent_analysis.Loops
 module Run = Nascent_interp.Run
+module Pool = Nascent_support.Pool
+module Memo = Nascent_support.Memo
+
+(* Every (benchmark × configuration) cell is a pure function of its
+   inputs and runs on its own lowered copy, so the matrix fans out over
+   the process-wide domain pool (NASCENT_JOBS / --jobs /
+   Pool.set_default_jobs; jobs=1 is the serial path) and lands in a
+   content-addressed cache. Determinism across pool sizes and the
+   byte-identity of warm-cache reruns are pinned by
+   test/test_parallel.ml. *)
+let pool () = Pool.global ()
 
 (* --- Table 1: program characteristics -------------------------------- *)
 
@@ -60,7 +71,7 @@ let characterize (bench : B.benchmark) : characteristics =
     dyn_checks = o_naive.Run.checks;
   }
 
-let characterize_all () = List.map characterize B.all
+let characterize_all () = Pool.parallel_map (pool ()) characterize B.all
 
 (* --- Tables 2 and 3: per-configuration runs -------------------------- *)
 
@@ -72,11 +83,24 @@ type cell = {
   pass_times : (string * float) list; (* per-pass range-time breakdown *)
 }
 
+(* Cache key version: bump when [cell]'s shape or the counting model
+   changes, or stale on-disk entries would replay the old shape. *)
+let cell_version = "cell-v1"
+
+let cell_cache : cell Memo.t = Memo.create ~name:"cells" ()
+let cell_cache_stats () = Memo.stats cell_cache
+let reset_cell_cache () = Memo.clear cell_cache
+
 let run_config (c : characteristics) (config : Config.t) : cell =
   (* Timing run: the invariant verifier is a measurement harness, not a
      compiler pass, so it is switched off here (the test suite runs the
      same matrix with it on). *)
   let config = { config with Config.verify = false } in
+  let key =
+    Memo.key
+      [ cell_version; c.bench.B.name; c.bench.B.source; Config.cache_key config ]
+  in
+  Memo.find_or_compute cell_cache ~key @@ fun () ->
   let t0 = Nascent_support.Mclock.counter () in
   let ir = Ir.Lower.of_source c.bench.B.source in
   let opt, stats = Core.Optimizer.optimize ~config ir in
@@ -123,8 +147,7 @@ let sum_pass_times (cells : cell list) : (string * float) list =
         acc c.pass_times)
     [] cells
 
-let run_row ?label (chars : characteristics list) (config : Config.t) : row =
-  let cells = List.map (fun c -> run_config c config) chars in
+let make_row ~label ~config cells =
   {
     label =
       (match label with Some l -> l | None -> Config.scheme_name config.Config.scheme);
@@ -135,16 +158,56 @@ let run_row ?label (chars : characteristics list) (config : Config.t) : row =
     pass_totals = sum_pass_times cells;
   }
 
+let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> []
+let rec drop n = function _ :: rest when n > 0 -> drop (n - 1) rest | xs -> xs
+
+(* Compute several rows' cells in ONE fan-out: the whole
+   (benchmark × config) matrix flattens into a single parallel_map
+   whose row-major result order rebuilds the rows deterministically. *)
+let run_rows (chars : characteristics list)
+    (specs : (string option * Config.t) list) : row list =
+  let tasks =
+    List.concat_map (fun (_, config) -> List.map (fun c -> (c, config)) chars) specs
+  in
+  let cells = Pool.parallel_map (pool ()) (fun (c, config) -> run_config c config) tasks in
+  let n = List.length chars in
+  let rec rows specs cells =
+    match specs with
+    | [] -> []
+    | (label, config) :: rest ->
+        make_row ~label ~config (take n cells) :: rows rest (drop n cells)
+  in
+  rows specs cells
+
+let run_row ?label (chars : characteristics list) (config : Config.t) : row =
+  List.hd (run_rows chars [ (label, config) ])
+
+(* Group labelled per-kind specs, fan the whole table out at once, and
+   chunk the rows back under their kinds. *)
+let run_table (chars : characteristics list)
+    (groups : (Config.check_kind * (string option * Config.t) list) list) :
+    (Config.check_kind * row list) list =
+  let rows = run_rows chars (List.concat_map snd groups) in
+  let rec regroup groups rows =
+    match groups with
+    | [] -> []
+    | (kind, specs) :: rest ->
+        let k = List.length specs in
+        (kind, take k rows) :: regroup rest (drop k rows)
+  in
+  regroup groups rows
+
 (* Table 2: the seven placement schemes x {PRX, INX}, full implications. *)
 let table2 ?(kinds = [ Config.PRX; Config.INX ]) (chars : characteristics list) :
     (Config.check_kind * row list) list =
-  List.map
-    (fun kind ->
-      ( kind,
-        List.map
-          (fun scheme -> run_row chars (Config.make ~scheme ~kind ()))
-          Config.all_schemes ))
-    kinds
+  run_table chars
+    (List.map
+       (fun kind ->
+         ( kind,
+           List.map
+             (fun scheme -> (None, Config.make ~scheme ~kind ()))
+             Config.all_schemes ))
+       kinds)
 
 (* Table 3: implication ablation — NI/NI', SE/SE' (no implications at
    all) and LLS/LLS' (cross-family only). *)
@@ -160,25 +223,27 @@ let table3 ?(kinds = [ Config.PRX; Config.INX ]) (chars : characteristics list) 
       ("LLS'", Config.LLS, Universe.Cross_family_only);
     ]
   in
-  List.map
-    (fun kind ->
-      ( kind,
-        List.map
-          (fun (label, scheme, impl) ->
-            run_row ~label chars (Config.make ~scheme ~kind ~impl ()))
-          variants ))
-    kinds
+  run_table chars
+    (List.map
+       (fun kind ->
+         ( kind,
+           List.map
+             (fun (label, scheme, impl) ->
+               (Some label, Config.make ~scheme ~kind ~impl ()))
+             variants ))
+       kinds)
 
 (* Extension experiment (paper section 5): the comparison the paper
    proposes — Markstein/Cocke/Markstein's restricted preheader
    insertion vs LI and LLS. *)
 let extensions (chars : characteristics list) : (Config.check_kind * row list) list =
-  [
-    ( Config.PRX,
-      List.map
-        (fun scheme -> run_row chars (Config.make ~scheme ()))
-        [ Config.LI; Config.MCM; Config.LLS ] );
-  ]
+  run_table chars
+    [
+      ( Config.PRX,
+        List.map
+          (fun scheme -> (None, Config.make ~scheme ()))
+          [ Config.LI; Config.MCM; Config.LLS ] );
+    ]
 
 (* --- canonical-form ablation (design decision 1 in DESIGN.md) --------- *)
 

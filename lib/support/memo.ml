@@ -1,0 +1,141 @@
+(* Content-addressed result cache: a mutex-protected in-memory table
+   keyed by input digests, with an optional Marshal-based on-disk
+   store. Timing inside the harness stays on Mclock; the memo itself
+   never reads a clock — cached cells replay their recorded values
+   bit-for-bit, which is what makes warm parallel reruns byte-identical
+   to the serial run. *)
+
+type counters = { hits : int; disk_hits : int; misses : int }
+
+type 'v t = {
+  name : string;
+  table : (string, 'v) Hashtbl.t; (* guarded by [lock] *)
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  disk_dir : string option;
+}
+
+let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let default_disk_dir = Filename.concat "_build" ".nascent-cache"
+
+let disk_dir_from_env () =
+  match Sys.getenv_opt "NASCENT_CACHE_DIR" with
+  | Some d when String.trim d <> "" -> Some d
+  | _ -> (
+      match Sys.getenv_opt "NASCENT_CACHE" with
+      | Some ("1" | "true" | "on") -> Some default_disk_dir
+      | _ -> None)
+
+let create ?disk_dir ~name () =
+  let disk_dir =
+    match disk_dir with Some d -> Some d | None -> disk_dir_from_env ()
+  in
+  {
+    name;
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    disk_dir;
+  }
+
+(* --- disk store ------------------------------------------------------- *)
+
+(* A fixed magic string guards against reading foreign files; the
+   content digest in the filename guards against stale values. Marshal
+   is not type-safe across incompatible readers, which is why callers
+   version their keys. *)
+let file_magic = "NASCENT-MEMO.v1\n"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> () (* lost a race: fine *)
+  end
+
+let entry_path t k dir = Filename.concat (Filename.concat dir t.name) k
+
+let disk_read t k =
+  match t.disk_dir with
+  | None -> None
+  | Some dir -> (
+      let path = entry_path t k dir in
+      try
+        In_channel.with_open_bin path (fun ic ->
+            let m = really_input_string ic (String.length file_magic) in
+            if m <> file_magic then None else Some (Marshal.from_channel ic))
+      with _ -> None)
+
+let disk_write t k v =
+  match t.disk_dir with
+  | None -> ()
+  | Some dir -> (
+      try
+        let d = Filename.concat dir t.name in
+        mkdir_p d;
+        (* write-then-rename: concurrent writers of the same key never
+           expose a torn entry *)
+        let tmp = Filename.temp_file ~temp_dir:d "entry" ".tmp" in
+        Out_channel.with_open_bin tmp (fun oc ->
+            output_string oc file_magic;
+            Marshal.to_channel oc v []);
+        Sys.rename tmp (entry_path t k dir)
+      with Sys_error _ -> () (* a read-only tree disables persistence *))
+
+let clear_disk t =
+  match t.disk_dir with
+  | None -> ()
+  | Some dir -> (
+      let d = Filename.concat dir t.name in
+      match Sys.readdir d with
+      | entries ->
+          Array.iter
+            (fun e -> try Sys.remove (Filename.concat d e) with Sys_error _ -> ())
+            entries
+      | exception Sys_error _ -> ())
+
+(* --- lookup ----------------------------------------------------------- *)
+
+let find_or_compute t ~key f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      v
+  | None -> (
+      Mutex.unlock t.lock;
+      match disk_read t key with
+      | Some v ->
+          Mutex.lock t.lock;
+          t.hits <- t.hits + 1;
+          t.disk_hits <- t.disk_hits + 1;
+          Hashtbl.replace t.table key v;
+          Mutex.unlock t.lock;
+          v
+      | None ->
+          let v = f () in
+          Mutex.lock t.lock;
+          t.misses <- t.misses + 1;
+          Hashtbl.replace t.table key v;
+          Mutex.unlock t.lock;
+          disk_write t key v;
+          v)
+
+let stats t =
+  Mutex.lock t.lock;
+  let c = { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses } in
+  Mutex.unlock t.lock;
+  c
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.disk_hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock

@@ -1,0 +1,185 @@
+(* Fixed-size domain pool: [jobs - 1] worker domains blocked on a
+   mutex/condition-protected task queue, plus the submitting domain,
+   which always helps drain its own batch (so nested parallel_map
+   calls cannot deadlock: a batch never waits on a worker that is
+   waiting on the batch).
+
+   Determinism contract (pinned by test/test_parallel.ml): results are
+   stored by input index, and when tasks raise, the lowest-index
+   exception is re-raised — parallel_map is observably List.map. *)
+
+(* OCaml caps the number of live domains (128 including the main one);
+   stay well below so nested pools and tests never hit the limit. *)
+let max_jobs = 64
+
+type t = {
+  jobs : int;
+  tasks : (unit -> unit) Queue.t; (* guarded by [lock] *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+let jobs t = t.jobs
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    match Queue.take_opt t.tasks with
+    | Some task ->
+        Mutex.unlock t.lock;
+        Some task
+    | None ->
+        if t.closed then begin
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.lock;
+          next ()
+        end
+  in
+  match next () with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker_loop t
+
+let create ~jobs =
+  let jobs = max 1 (min jobs max_jobs) in
+  let t =
+    {
+      jobs;
+      tasks = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  (* The submitting domain drains its own batches, so [jobs - 1]
+     workers saturate [jobs] cores. *)
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let submit t task =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add task t.tasks;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let parallel_map (type b) t (f : 'a -> b) (xs : 'a list) : b list =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when t.jobs = 1 -> List.map f xs (* serial fallback *)
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let results : (b, exn * Printexc.raw_backtrace) result option array =
+        Array.make n None
+      in
+      let next = Atomic.make 0 in
+      let remaining = Atomic.make n in
+      let flock = Mutex.create () in
+      let finished = Condition.create () in
+      let run_one i =
+        let r =
+          try Ok (f input.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some r;
+        (* Publish the (non-atomic) result slot via the atomic counter;
+           the submitter only reads [results] after seeing it hit 0. *)
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock flock;
+          Condition.broadcast finished;
+          Mutex.unlock flock
+        end
+      in
+      let rec drain () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_one i;
+          drain ()
+        end
+      in
+      for _ = 1 to min (t.jobs - 1) (n - 1) do
+        submit t drain
+      done;
+      drain ();
+      Mutex.lock flock;
+      while Atomic.get remaining > 0 do
+        Condition.wait finished flock
+      done;
+      Mutex.unlock flock;
+      (* Lowest-index exception wins: observably left-to-right. *)
+      let first_error = ref None in
+      let out =
+        Array.map
+          (function
+            | Some (Ok v) -> Some v
+            | Some (Error e) ->
+                if !first_error = None then first_error := Some e;
+                None
+            | None -> assert false)
+          results
+      in
+      (match !first_error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list out |> List.map Option.get
+
+let parallel_iter t f xs = ignore (parallel_map t (fun x -> f x) xs : unit list)
+
+(* --- the process-wide jobs knob and pool ------------------------------ *)
+
+let env_jobs () =
+  match Sys.getenv_opt "NASCENT_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (min n max_jobs)
+      | _ -> None)
+
+let override = ref None
+
+let set_default_jobs n = override := Some (max 1 (min n max_jobs))
+
+let default_jobs () =
+  match !override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> min max_jobs (Domain.recommended_domain_count ()))
+
+let global_pool = ref None
+let global_lock = Mutex.create ()
+
+let global () =
+  Mutex.lock global_lock;
+  let jobs = default_jobs () in
+  let p =
+    match !global_pool with
+    | Some p when p.jobs = jobs && not p.closed -> p
+    | prev ->
+        Option.iter shutdown prev;
+        let p = create ~jobs in
+        global_pool := Some p;
+        p
+  in
+  Mutex.unlock global_lock;
+  p

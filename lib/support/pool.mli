@@ -1,0 +1,63 @@
+(** Fixed-size domain pool for the experiment harness.
+
+    The evaluation matrix (benchmark × scheme × check kind ×
+    implication mode) is embarrassingly parallel: every cell lowers,
+    optimizes and interprets its own copy of a program. [parallel_map]
+    fans a list of such cells over a fixed set of OCaml 5 domains while
+    preserving the exact semantics of [List.map]:
+
+    - results come back in input order, regardless of completion order;
+    - an exception raised by [f] is captured (with its backtrace) and
+      re-raised in the calling domain — when several tasks raise, the
+      one with the lowest input index wins, matching left-to-right
+      serial evaluation;
+    - with [jobs = 1] the pool degrades to plain [List.map] — the
+      serial fallback used for differential determinism testing.
+
+    The submitting domain always participates in draining its own
+    batch, so a pool of [jobs = n] spawns [n - 1] worker domains and
+    [parallel_map] cannot deadlock even when called from another
+    pool's worker. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs] is clamped
+    to [1 .. 64]). A [jobs = 1] pool spawns nothing and runs every
+    batch serially in the caller. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them. Pending tasks are drained
+    first; submitting to a shut-down pool raises. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map t f xs ≡ List.map f xs], computed on up to
+    [jobs t] domains. See the module description for the ordering and
+    exception contract. *)
+
+val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+(** [parallel_iter t f xs]: run [f] on every element, in parallel.
+    Completion order is unspecified; exceptions follow
+    {!parallel_map}'s lowest-index rule. *)
+
+(** {2 The jobs knob}
+
+    Parallelism is configured once per process, from (in priority
+    order) {!set_default_jobs} (the [--jobs] CLI flag), the
+    [NASCENT_JOBS] environment variable, or
+    [Domain.recommended_domain_count]. *)
+
+val default_jobs : unit -> int
+
+val set_default_jobs : int -> unit
+(** Override [NASCENT_JOBS] / the core count. Call only from the main
+    domain, with no parallel batch in flight: a live {!global} pool of
+    a different size is shut down and replaced on the next
+    {!global} call. *)
+
+val global : unit -> t
+(** The process-wide pool, created on first use with
+    {!default_jobs} ()] domains and resized (by replacement) when the
+    default changes. *)

@@ -13,6 +13,7 @@ let () =
       ("induction", Test_induction.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("random", Test_random.suite);
+      ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
       ("harness", Test_harness.suite);
     ]

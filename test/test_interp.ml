@@ -224,11 +224,82 @@ let test_division_by_zero_is_error () =
   Alcotest.(check bool) "error" true (o.error <> None);
   Alcotest.(check (option string)) "no trap" None o.trap
 
+(* The unhappy paths must keep their classification AND their counters
+   honest — cached cells replay these counters, so they are pinned
+   here. A range violation is a trap even when the same statement would
+   also divide by zero: the check runs first. *)
+let test_trap_beats_division_error () =
+  let o =
+    run_source
+      "program t\ninteger a(1:10), n, z, x\nn = 11\nz = 0\nx = a(n) / z\nend"
+  in
+  trap_expected o;
+  Alcotest.(check (option string)) "no error" None o.error
+
+(* ... and when the subscript is in range, the division error is
+   reported as an error, with the preceding checks still counted. *)
+let test_error_keeps_check_counters () =
+  let o =
+    run_source
+      "program t\ninteger a(1:10), n, z, x\nn = 10\nz = 0\nx = a(n) / z\nend"
+  in
+  Alcotest.(check bool) "error" true (o.error <> None);
+  Alcotest.(check (option string)) "no trap" None o.trap;
+  Alcotest.(check int) "checks before the error are counted" 2 o.checks
+
+(* A Cond_check whose guard is false evaluates the guard (counted in
+   cond_guards and instruction units) but performs NO range check. LLS
+   on a zero-trip loop produces exactly this shape: the hoisted
+   preheader checks are guarded by the trip condition. *)
+let optimize_lls src =
+  let ir = ir_of_source src in
+  let opt, _ =
+    Nascent_core.Optimizer.optimize
+      ~config:(Nascent_core.Config.make ~scheme:Nascent_core.Config.LLS ())
+      ir
+  in
+  opt
+
+let test_cond_check_guard_false_not_counted () =
+  let opt =
+    optimize_lls
+      "program t\ninteger i, n, a(1:10)\nn = 0\ndo i = 1, n\na(i) = i\nenddo\nend"
+  in
+  let o = Nascent_interp.Run.run opt in
+  check_no_trap o;
+  Alcotest.(check bool) "guard evaluated" true (o.cond_guards > 0);
+  Alcotest.(check int) "no check counted" 0 o.checks
+
+let test_cond_check_guard_true_counted () =
+  let opt =
+    optimize_lls
+      "program t\ninteger i, n, a(1:10)\nn = 10\ndo i = 1, n\na(i) = i\nenddo\nend"
+  in
+  let o = Nascent_interp.Run.run opt in
+  check_no_trap o;
+  Alcotest.(check bool) "guard evaluated" true (o.cond_guards > 0);
+  Alcotest.(check bool) "guarded check performed" true (o.checks > 0);
+  Alcotest.(check bool) "fewer than naive's 20" true (o.checks < 20)
+
 let test_fuel_exhaustion () =
   let o =
     run_source ~fuel:1000 "program t\ninteger n\nwhile 1 < 2 do\nn = n + 1\nendwhile\nend"
   in
   Alcotest.(check bool) "fuel exhausted" true o.fuel_exhausted
+
+(* Fuel exhaustion is reported as neither trap nor error, and the
+   counters accumulated up to the cutoff survive into the outcome. *)
+let test_fuel_exhaustion_counters () =
+  let o =
+    run_source ~fuel:500
+      "program t\ninteger a(1:10)\nwhile 1 < 2 do\na(1) = 1\nendwhile\nend"
+  in
+  Alcotest.(check bool) "fuel exhausted" true o.fuel_exhausted;
+  Alcotest.(check (option string)) "no trap" None o.trap;
+  Alcotest.(check (option string)) "no error" None o.error;
+  Alcotest.(check bool) "checks counted up to cutoff" true (o.checks > 0);
+  Alcotest.(check bool) "instrs counted up to cutoff" true
+    (o.instrs > 0 && o.instrs <= 500)
 
 let test_return_stops_unit () =
   let o = run_source "program t\ninteger n\nn = 1\nprint n\nreturn\nprint 2\nend" in
@@ -273,7 +344,12 @@ let suite =
     tc "call: scalar by value" test_call_scalar_by_value;
     tc "call: array by reference" test_call_array_by_reference;
     tc "division by zero is error" test_division_by_zero_is_error;
+    tc "trap beats division error" test_trap_beats_division_error;
+    tc "error keeps check counters" test_error_keeps_check_counters;
+    tc "cond check guard false not counted" test_cond_check_guard_false_not_counted;
+    tc "cond check guard true counted" test_cond_check_guard_true_counted;
     tc "fuel exhaustion" test_fuel_exhaustion;
+    tc "fuel exhaustion counters" test_fuel_exhaustion_counters;
     tc "return stops unit" test_return_stops_unit;
     tc "strip checks" test_strip_checks;
     tc "instr counts positive" test_instr_counts_positive;

@@ -1,0 +1,183 @@
+(* The parallel experiment engine: Pool semantics, the Memo cache, and
+   the determinism contract of the table harness.
+
+   The load-bearing property is the differential one: the experiment
+   tables must be STRUCTURALLY IDENTICAL whether computed serially
+   (jobs=1), on a pool (jobs=4), or replayed from a warm cache — and
+   the warm replay must be byte-identical (timing columns included)
+   with zero re-optimizations. bench/main.exe check-determinism runs
+   the same gate over the full suite in CI; this test pins it on a
+   3-benchmark subset so `dune runtest` catches pool/cache bugs
+   without CI. *)
+
+module Pool = Nascent_support.Pool
+module Memo = Nascent_support.Memo
+module E = Nascent_harness.Experiments
+module B = Nascent_benchmarks.Suite
+module Config = Nascent_core.Config
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* --- Pool: ordering, clamping, iteration ------------------------------ *)
+
+let test_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  with_pool 4 @@ fun p ->
+  Alcotest.(check (list int))
+    "same as List.map" (List.map (fun x -> x * x) xs)
+    (Pool.parallel_map p (fun x -> x * x) xs)
+
+let test_jobs_clamped () =
+  with_pool 0 (fun p -> Alcotest.(check int) "low clamp" 1 (Pool.jobs p));
+  with_pool 1000 (fun p -> Alcotest.(check int) "high clamp" 64 (Pool.jobs p))
+
+let test_serial_fallback () =
+  with_pool 1 @@ fun p ->
+  Alcotest.(check (list int))
+    "jobs=1 is List.map" [ 2; 4; 6 ]
+    (Pool.parallel_map p (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_iter_visits_all () =
+  let sum = Atomic.make 0 in
+  with_pool 4 @@ fun p ->
+  Pool.parallel_iter p (fun x -> ignore (Atomic.fetch_and_add sum x)) (List.init 50 succ);
+  Alcotest.(check int) "sum 1..50" 1275 (Atomic.get sum)
+
+(* The caller drains its own batch, so a worker may itself submit a
+   batch to the same pool without deadlocking. *)
+let test_nested_map_no_deadlock () =
+  with_pool 3 @@ fun p ->
+  let outer =
+    Pool.parallel_map p
+      (fun i -> Pool.parallel_map p (fun j -> (10 * i) + j) [ 1; 2; 3 ])
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested result"
+    (List.map (fun i -> List.map (fun j -> (10 * i) + j) [ 1; 2; 3 ]) [ 1; 2; 3; 4 ])
+    outer
+
+(* --- Pool ≡ List.map, exceptions included (qcheck) --------------------- *)
+
+exception Boom of int
+
+(* Observable behaviour of a map: its results, or the exception it
+   raises. [f] raises on x ≡ 3 (mod 7); List.map raises for the FIRST
+   such element in list order, and parallel_map must agree no matter
+   which domain hits one first. *)
+let observe map xs =
+  let f x = if x mod 7 = 3 then raise (Boom x) else (2 * x) + 1 in
+  match map f xs with ys -> Ok ys | exception Boom v -> Error v
+
+let prop_map_equiv_list_map =
+  QCheck.Test.make ~name:"parallel_map ≡ List.map (ordering + exceptions)"
+    ~count:30
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_range 0 40) small_signed_int))
+    (fun (jobs, xs) ->
+      with_pool jobs @@ fun p ->
+      observe List.map xs = observe (Pool.parallel_map p) xs)
+
+(* --- Memo: counters, disk store, key discipline ------------------------ *)
+
+let test_memo_hit_miss () =
+  let m : int Memo.t = Memo.create ~name:"t-hit-miss" () in
+  let k = Memo.key [ "a"; "b" ] in
+  Alcotest.(check int) "miss computes" 41 (Memo.find_or_compute m ~key:k (fun () -> 41));
+  Alcotest.(check int) "hit replays" 41
+    (Memo.find_or_compute m ~key:k (fun () -> Alcotest.fail "recomputed on hit"));
+  let s = Memo.stats m in
+  Alcotest.(check int) "misses" 1 s.Memo.misses;
+  Alcotest.(check int) "hits" 1 s.Memo.hits;
+  Alcotest.(check int) "no disk" 0 s.Memo.disk_hits
+
+let test_memo_key_injective_on_structure () =
+  (* The component list, not its concatenation, is what is digested:
+     ["ab"] and ["a"; "b"] must not collide. *)
+  Alcotest.(check bool) "split differs" true (Memo.key [ "ab" ] <> Memo.key [ "a"; "b" ]);
+  Alcotest.(check bool) "order matters" true (Memo.key [ "a"; "b" ] <> Memo.key [ "b"; "a" ])
+
+let test_memo_disk_roundtrip () =
+  let dir = Filename.temp_dir "nascent-memo" "" in
+  let k = Memo.key [ "cell" ] in
+  let m1 : int Memo.t = Memo.create ~disk_dir:dir ~name:"t-disk" () in
+  Alcotest.(check int) "computed once" 7 (Memo.find_or_compute m1 ~key:k (fun () -> 7));
+  (* A fresh memo (fresh process, morally) reads the value back from
+     disk instead of recomputing. *)
+  let m2 : int Memo.t = Memo.create ~disk_dir:dir ~name:"t-disk" () in
+  Alcotest.(check int) "served from disk" 7
+    (Memo.find_or_compute m2 ~key:k (fun () -> Alcotest.fail "recomputed despite disk store"));
+  let s = Memo.stats m2 in
+  Alcotest.(check int) "disk hit" 1 s.Memo.disk_hits;
+  Alcotest.(check int) "no miss" 0 s.Memo.misses;
+  Memo.clear_disk m2;
+  let m3 : int Memo.t = Memo.create ~disk_dir:dir ~name:"t-disk" () in
+  Alcotest.(check int) "recomputes after clear_disk" 8
+    (Memo.find_or_compute m3 ~key:k (fun () -> 8))
+
+let test_config_cache_key_covers_verify () =
+  let base = Config.make ~scheme:Config.LLS () in
+  Alcotest.(check bool) "verify is part of the key" true
+    (Config.cache_key { base with Config.verify = true }
+    <> Config.cache_key { base with Config.verify = false });
+  Alcotest.(check bool) "kind is part of the key" true
+    (Config.cache_key (Config.make ~scheme:Config.LLS ~kind:Config.PRX ())
+    <> Config.cache_key (Config.make ~scheme:Config.LLS ~kind:Config.INX ()))
+
+(* --- the determinism contract of the table harness --------------------- *)
+
+(* Same projection as bench/main.exe check-determinism: everything but
+   the timing columns. *)
+let structural_row (r : E.row) =
+  ( r.E.label,
+    Config.cache_key r.E.config,
+    List.map
+      (fun (c : E.cell) ->
+        (c.E.dyn_checks_after, c.E.pct_eliminated, List.map fst c.E.pass_times))
+      r.E.cells )
+
+let structural tables =
+  List.map
+    (fun (kind, rows) -> (Config.kind_name kind, List.map structural_row rows))
+    (List.concat tables)
+
+let test_tables_deterministic_across_jobs () =
+  (* 3-benchmark subset of the full suite, PRX only: enough to exercise
+     every scheme and the row-major fan-out, cheap enough for tier 1. *)
+  let chars = List.map E.characterize (List.filteri (fun i _ -> i < 3) B.all) in
+  let tables () = [ E.table2 ~kinds:[ Config.PRX ] chars; E.table3 ~kinds:[ Config.PRX ] chars; E.extensions chars ] in
+  let saved = Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs saved) @@ fun () ->
+  E.reset_cell_cache ();
+  Pool.set_default_jobs 1;
+  let serial = tables () in
+  let serial_misses = (E.cell_cache_stats ()).Memo.misses in
+  Alcotest.(check bool) "serial run computed cells" true (serial_misses > 0);
+  E.reset_cell_cache ();
+  Pool.set_default_jobs 4;
+  let parallel = tables () in
+  Alcotest.(check bool) "jobs=1 and jobs=4 structurally equal" true
+    (structural serial = structural parallel);
+  (* Warm rerun: byte-identical rows (timings included, replayed from
+     the cache) and zero re-optimizations. *)
+  let before = (E.cell_cache_stats ()).Memo.misses in
+  let warm = tables () in
+  let after = (E.cell_cache_stats ()).Memo.misses in
+  Alcotest.(check int) "zero re-optimizations on warm cache" 0 (after - before);
+  Alcotest.(check bool) "warm rerun byte-identical" true (warm = parallel)
+
+let suite =
+  [
+    Util.tc "map preserves order" test_map_preserves_order;
+    Util.tc "jobs clamped" test_jobs_clamped;
+    Util.tc "serial fallback" test_serial_fallback;
+    Util.tc "iter visits all" test_iter_visits_all;
+    Util.tc "nested map no deadlock" test_nested_map_no_deadlock;
+    QCheck_alcotest.to_alcotest prop_map_equiv_list_map;
+    Util.tc "memo hit/miss counters" test_memo_hit_miss;
+    Util.tc "memo key injective on structure" test_memo_key_injective_on_structure;
+    Util.tc "memo disk roundtrip" test_memo_disk_roundtrip;
+    Util.tc "config cache key covers verify" test_config_cache_key_covers_verify;
+    Util.tc "tables deterministic across jobs" test_tables_deterministic_across_jobs;
+  ]

@@ -268,8 +268,23 @@ let check_program src =
   end
 
 let prop_soundness =
-  QCheck.Test.make ~name:"random programs: every config sound" ~count:60
+  QCheck.Test.make ~name:"random programs: every config sound" ~count:36
     (QCheck.make gen_program) check_program
+
+(* A second tranche of the same property, sharded across a small domain
+   pool: programs are pre-generated from a fixed seed (so the corpus is
+   reproducible and independent of scheduling), then checked in
+   parallel. [check_program]'s own config loop stays serial — the
+   parallelism is across programs, exactly how test/bench fan work out
+   in anger. A failure in any shard re-raises in the caller. *)
+let test_sharded_soundness () =
+  let rand = Random.State.make [| 0xd0a11 |] in
+  let programs = List.init 24 (fun _ -> QCheck.Gen.generate1 ~rand gen_program) in
+  let pool = Nascent_support.Pool.create ~jobs:2 in
+  Fun.protect ~finally:(fun () -> Nascent_support.Pool.shutdown pool) @@ fun () ->
+  Nascent_support.Pool.parallel_iter pool
+    (fun src -> ignore (check_program src))
+    programs
 
 (* The generator must produce a healthy mix of outcomes, or the
    soundness property would be vacuous (e.g. everything trapping on the
@@ -297,5 +312,6 @@ let test_generator_diversity () =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_soundness;
+    Util.tc "sharded soundness (2 domains)" test_sharded_soundness;
     Util.tc "generator diversity" test_generator_diversity;
   ]

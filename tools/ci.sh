@@ -1,5 +1,8 @@
 #!/bin/sh
-# One-command CI gate: build + tests + verifier sweep (the @ci alias).
+# One-command CI gate (the @ci alias): build + tests + verifier sweep,
+# then the evaluation tables on a 2-domain pool (NASCENT_JOBS=2) with
+# the serial-vs-parallel-vs-warm-cache determinism check — the gate
+# fails if pool size or caching changes a single table cell.
 set -eu
 cd "$(dirname "$0")/.."
 exec dune build @ci
