@@ -28,35 +28,65 @@ module Mclock = Nascent_support.Mclock
 
 let chars = lazy (E.characterize_all ())
 
-(* Per-target cache accounting: delta of the cell cache counters. *)
+(* Per-target cache accounting: delta of the cell cache counters.
+   Quarantined entries — corrupt disk-cache files detected, moved aside
+   and recomputed — are reported whenever nonzero: they mean the cache
+   directory is being damaged by something. *)
 let with_cache_report what f =
   let b = E.cell_cache_stats () in
   f ();
   let a = E.cell_cache_stats () in
-  Printf.printf "[cache] %s: %d hit(s) (%d from disk), %d miss(es), jobs=%d\n%!" what
+  let quarantined = a.Memo.quarantined - b.Memo.quarantined in
+  Printf.printf "[cache] %s: %d hit(s) (%d from disk), %d miss(es)%s, jobs=%d\n%!" what
     (a.Memo.hits - b.Memo.hits)
     (a.Memo.disk_hits - b.Memo.disk_hits)
     (a.Memo.misses - b.Memo.misses)
+    (if quarantined = 0 then ""
+     else Printf.sprintf ", %d corrupt entr(ies) quarantined" quarantined)
     (Pool.default_jobs ())
+
+(* Incident accounting: any cell that compiled degraded (a rolled-back
+   optimizer pass) taints the numbers it contributed to — say so next
+   to the table rather than leaving it buried in a stats record. *)
+let incident_report what (tables : (Config.check_kind * E.row list) list) =
+  let n =
+    List.fold_left
+      (fun acc (_, rows) ->
+        List.fold_left
+          (fun acc (r : E.row) ->
+            List.fold_left (fun acc (c : E.cell) -> acc + c.E.incidents) acc r.E.cells)
+          acc rows)
+      0 tables
+  in
+  if n > 0 then
+    Printf.printf "[incidents] %s: %d optimizer pass(es) rolled back — the affected \
+                   cells report degraded (but safe) numbers\n%!"
+      what n
 
 let run_table1 () = Report.table1 (Lazy.force chars)
 
 let run_table2 () =
   with_cache_report "table2" @@ fun () ->
   let chars = Lazy.force chars in
-  Report.table2 chars (E.table2 chars)
+  let tables = E.table2 chars in
+  Report.table2 chars tables;
+  incident_report "table2" tables
 
 let run_table3 () =
   with_cache_report "table3" @@ fun () ->
   let chars = Lazy.force chars in
-  Report.table3 chars (E.table3 chars)
+  let tables = E.table3 chars in
+  Report.table3 chars tables;
+  incident_report "table3" tables
 
 let run_canon () = Report.canon (E.canon_ablation (Lazy.force chars))
 
 let run_extensions () =
   with_cache_report "extensions" @@ fun () ->
   let chars = Lazy.force chars in
-  Report.extensions chars (E.extensions chars)
+  let tables = E.extensions chars in
+  Report.extensions chars tables;
+  incident_report "extensions" tables
 
 (* Table-only mode: everything except the Bechamel timers, for CI. *)
 let run_tables () =
@@ -77,7 +107,8 @@ let structural_row (r : E.row) =
     Config.cache_key r.E.config,
     List.map
       (fun (c : E.cell) ->
-        (c.E.dyn_checks_after, c.E.pct_eliminated, List.map fst c.E.pass_times))
+        (c.E.dyn_checks_after, c.E.pct_eliminated, List.map fst c.E.pass_times,
+         c.E.incidents))
       r.E.cells )
 
 let structural tables =
@@ -170,7 +201,8 @@ let run_speedup () =
       (Domain.recommended_domain_count ())
       par_jobs serial_s parallel_s speedup warm_s (serial_s /. warm_s)
   in
-  Out_channel.with_open_text speedup_json_path (fun oc -> output_string oc json);
+  (* temp + rename: a partially-written record never survives a crash *)
+  Nascent_support.Guard.write_atomic ~path:speedup_json_path json;
   Printf.printf "wrote %s\n%!" speedup_json_path
 
 (* --- Bechamel: one Test.make per table ------------------------------- *)

@@ -9,8 +9,16 @@
      bench NAME        run a built-in benchmark program by name
 
    The optimizing commands accept --verify BOOL (IR verification
-   between passes, default on), --trace (per-pass logging) and
-   --stats-json FILE (per-pass timing/counter records as JSON).
+   between passes, default on), --trace (per-pass logging),
+   --stats-json FILE (per-pass timing/counter records as JSON, written
+   atomically) and --inject-fault SPEC (deliberate corruption of one
+   pass's output, exercising the detect-and-rollback path).
+
+   Exit codes: 0 success; 1 input/usage error; 2 the interpreted
+   program trapped or errored; 3 the verifier rejected the lowered
+   input (nothing to roll back to); 4 compiled successfully but
+   degraded — at least one optimizer pass faulted and was rolled back
+   (see the incident records in --stats-json / stderr).
 *)
 
 module Ir = Nascent_ir
@@ -138,8 +146,9 @@ let setup_trace trace =
     Logs.Src.set_level Core.Optimizer.log_src (Some Logs.Debug)
   end
 
-let write_json path json =
-  Out_channel.with_open_text path (fun oc -> output_string oc json)
+(* temp + rename: a crashed or interrupted run never leaves a torn
+   stats file for a dashboard to misparse *)
+let write_json path json = Nascent_support.Guard.write_atomic ~path json
 
 let naive_arg =
   Arg.(value & flag & info [ "naive" ] ~doc:"Skip optimization (naive checking).")
@@ -150,10 +159,46 @@ let fuel_arg =
     & opt int Run.default_fuel
     & info [ "fuel" ] ~docv:"N" ~doc:"Interpreter step budget.")
 
+let fault_classes_doc =
+  "drop-check, weaken-check, break-edge, unsafe-insert or hang-fixpoint"
+
+(* A single CLASS[:SEED] spec, for the optimizing commands. *)
+let fault_arg =
+  let parse s =
+    match Ir.Mutate.parse_request s with
+    | Ok (Ir.Mutate.Single spec) -> Ok spec
+    | Ok Ir.Mutate.Smoke ->
+        Error (`Msg "--inject-fault smoke is only valid for the verify subcommand")
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf s = Fmt.string ppf (Ir.Mutate.spec_name s) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "inject-fault" ] ~docv:"SPEC"
+        ~doc:
+          (Printf.sprintf
+             "Deliberately corrupt one optimizer pass's output — $(docv) is \
+              CLASS or CLASS:SEED, with CLASS one of %s — to exercise the \
+              detect-and-rollback path. Forces the verifier on; a compile that \
+              detects and recovers from a fault exits with code 4."
+             fault_classes_doc))
+
 let config_term =
   Term.(
-    const (fun scheme kind impl verify -> Config.make ~scheme ~kind ~impl ~verify ())
-    $ scheme_arg $ kind_arg $ impl_arg $ verify_arg)
+    const (fun scheme kind impl verify fault ->
+        Config.make ~scheme ~kind ~impl ~verify ?fault ())
+    $ scheme_arg $ kind_arg $ impl_arg $ verify_arg $ fault_arg)
+
+(* Exit 4 — compiled, but degraded: some pass rolled back. *)
+let exit_of_stats ?(ok = 0) = function
+  | Some st when st.Core.Optimizer.incidents <> [] ->
+      Fmt.epr "nascentc: %d optimizer pass(es) rolled back:@.%a@."
+        (List.length st.Core.Optimizer.incidents)
+        (Fmt.list Core.Optimizer.pp_incident)
+        st.Core.Optimizer.incidents;
+      4
+  | _ -> ok
 
 (* --- commands ---------------------------------------------------------- *)
 
@@ -189,7 +234,7 @@ let cmd_dump =
     | Some st, Some path -> write_json path (Core.Optimizer.stats_to_json st)
     | _ -> ());
     Fmt.pr "%s@." (Ir.Printer.program_to_string prog);
-    0
+    exit_of_stats stats
   in
   Cmd.v (Cmd.info "dump" ~doc)
     Term.(const run $ file_arg $ config_term $ naive_arg $ trace_arg $ stats_json_arg)
@@ -205,7 +250,7 @@ let cmd_run =
     | _ -> ());
     let o = Run.run ~fuel prog in
     Fmt.pr "%a@." Run.pp_outcome o;
-    if o.Run.trap <> None || o.Run.error <> None then 2 else 0
+    if o.Run.trap <> None || o.Run.error <> None then 2 else exit_of_stats stats
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
@@ -214,7 +259,7 @@ let cmd_run =
 
 let cmd_stats =
   let doc = "Compare every placement scheme on one program." in
-  let run file kind verify trace json =
+  let run file kind verify fault trace json =
     with_errors @@ fun () ->
     setup_trace trace;
     let src = load_source file in
@@ -225,7 +270,7 @@ let cmd_stats =
     let all_stats =
       List.map
         (fun scheme ->
-          let config = Config.make ~scheme ~kind ~verify () in
+          let config = Config.make ~scheme ~kind ~verify ?fault () in
           let opt, stats = Core.Optimizer.optimize ~config ir in
           let o = Run.run opt in
           Fmt.pr "%-6s %12d %11.2f%% %9.2f@." (Config.scheme_name scheme) o.Run.checks
@@ -243,16 +288,70 @@ let cmd_stats =
           ^ String.concat ",\n" (List.map Core.Optimizer.stats_to_json all_stats)
           ^ "]\n"))
       json;
-    0
+    List.fold_left
+      (fun code st -> max code (exit_of_stats (Some st)))
+      0 all_stats
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run $ file_arg $ kind_arg $ verify_arg $ trace_arg $ stats_json_arg)
+    Term.(
+      const run $ file_arg $ kind_arg $ verify_arg $ fault_arg $ trace_arg
+      $ stats_json_arg)
+
+(* Schemes whose pipeline runs the pass a mutation class targets; a
+   cell outside this set could never apply its fault, so it proves
+   nothing. *)
+let fault_schemes = function
+  | Ir.Mutate.Drop_check | Ir.Mutate.Weaken_check -> [ Config.CS ]
+  | Ir.Mutate.Unsafe_insert -> [ Config.SE; Config.LNI; Config.ALL ]
+  | Ir.Mutate.Break_edge | Ir.Mutate.Hang_fixpoint ->
+      (* "eliminate" runs in every scheme *)
+      Config.extended_schemes
+
+(* One fault-injection cell: optimize under a deliberately corrupted
+   pass and check the full recovery contract. Returns
+   [injected, failure messages]. *)
+let fault_cell (name, ir, spec, scheme) =
+  let config = Config.make ~scheme ~fault:spec () in
+  let where = Fmt.str "%s under %a" name Config.pp config in
+  match Core.Optimizer.optimize ~config ir with
+  | exception Ir.Verify.Invalid_ir msg ->
+      (false, [ Fmt.str "%s: escaped the rollback guard:@.%s" where msg ])
+  | opt, stats ->
+      let injected = stats.Core.Optimizer.faults_injected > 0 in
+      let errs = ref [] in
+      let fail fmt = Fmt.kstr (fun m -> errs := Fmt.str "%s: %s" where m :: !errs) fmt in
+      (if injected then begin
+         (* detection: a corruption that draws no incident escaped *)
+         if stats.Core.Optimizer.incidents = [] then
+           fail "injected fault drew no incident (undetected corruption)"
+       end
+       else if stats.Core.Optimizer.incidents <> [] then
+         (* the converse: nothing was corrupted, so nothing may roll back *)
+         fail "no fault applied, yet %d incident(s) were reported"
+           (List.length stats.Core.Optimizer.incidents));
+      (* the recovered output must be valid IR... *)
+      (match Ir.Verify.program opt with
+      | [] -> ()
+      | vs ->
+          fail "recovered program is invalid: %a"
+            (Fmt.list Ir.Verify.pp_violation) vs);
+      (* ...and behave exactly like the naive-checked original *)
+      (if injected then
+         let o0 = Run.run ir and o = Run.run opt in
+         if o.Run.printed <> o0.Run.printed then fail "recovered program prints differently";
+         if (o.Run.trap = None) <> (o0.Run.trap = None) then
+           fail "recovered program traps differently";
+         if (o.Run.error = None) <> (o0.Run.error = None) then
+           fail "recovered program errors differently");
+      (injected, List.rev !errs)
 
 let cmd_verify =
   let doc =
     "Verify IR invariants between optimizer passes across the full configuration \
      matrix (every scheme, check kind and implication mode), on one program or on \
-     all built-in benchmarks."
+     all built-in benchmarks. With --inject-fault, additionally prove the \
+     fail-safe contract: every injected corruption is detected, rolled back, and \
+     the recovered compile still matches the naive interpreter."
   in
   let file_opt_arg =
     Arg.(
@@ -263,7 +362,30 @@ let cmd_verify =
             "MiniF source file or built-in benchmark name; all built-in benchmarks \
              when omitted.")
   in
-  let run file trace jobs =
+  let fault_req_arg =
+    let parse s =
+      match Ir.Mutate.parse_request s with
+      | Ok r -> Ok r
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf = function
+      | Ir.Mutate.Smoke -> Fmt.string ppf "smoke"
+      | Ir.Mutate.Single s -> Fmt.string ppf (Ir.Mutate.spec_name s)
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "inject-fault" ] ~docv:"SPEC"
+          ~doc:
+            (Printf.sprintf
+               "Fault-injection mode: $(docv) is $(b,smoke) (the full class × \
+                benchmark × scheme matrix, seeded per cell), CLASS or CLASS:SEED \
+                (CLASS one of %s). Fails if any injected fault goes undetected, \
+                any fault-free cell reports an incident, or a recovered compile \
+                diverges from the naive interpreter."
+               fault_classes_doc))
+  in
+  let run file fault trace jobs =
     with_errors @@ fun () ->
     setup_trace trace;
     setup_jobs jobs;
@@ -271,9 +393,6 @@ let cmd_verify =
       match file with
       | Some f -> [ (f, load_source f) ]
       | None -> List.map (fun b -> (b.B.name, b.B.source)) B.all
-    in
-    let impls =
-      [ Universe.All_implications; Universe.Cross_family_only; Universe.No_implications ]
     in
     let failures = ref 0 in
     let lowered =
@@ -290,52 +409,136 @@ let cmd_verify =
           (name, ir))
         targets
     in
-    (* The matrix cells are independent — each optimizes its own copy —
-       so they fan out over the domain pool; failures are collected and
-       reported afterwards in deterministic matrix order. *)
-    let cells =
-      List.concat_map
-        (fun (name, ir) ->
+    let pool = Nascent_support.Pool.global () in
+    (match fault with
+    | None ->
+        let impls =
+          [
+            Universe.All_implications;
+            Universe.Cross_family_only;
+            Universe.No_implications;
+          ]
+        in
+        (* The matrix cells are independent — each optimizes its own
+           copy — so they fan out over the domain pool; failures are
+           collected and reported afterwards in deterministic matrix
+           order. A faulting pass no longer raises: it rolls back and
+           leaves an incident record, so an incident IS the failure. *)
+        let cells =
           List.concat_map
-            (fun scheme ->
+            (fun (name, ir) ->
               List.concat_map
-                (fun kind ->
+                (fun scheme ->
+                  List.concat_map
+                    (fun kind ->
+                      List.map
+                        (fun impl ->
+                          (name, ir, Config.make ~scheme ~kind ~impl ~verify:true ()))
+                        impls)
+                    [ Config.PRX; Config.INX ])
+                Config.extended_schemes)
+            lowered
+        in
+        let outcomes =
+          Nascent_support.Pool.parallel_map pool
+            (fun (name, ir, config) ->
+              match Core.Optimizer.optimize ~config ir with
+              | _, stats -> (
+                  match stats.Core.Optimizer.incidents with
+                  | [] -> None
+                  | is ->
+                      Some
+                        ( name,
+                          config,
+                          Fmt.str "%d pass(es) rolled back:@.%a" (List.length is)
+                            (Fmt.list Core.Optimizer.pp_incident)
+                            is ))
+              | exception Ir.Verify.Invalid_ir msg -> Some (name, config, msg))
+            cells
+        in
+        List.iter
+          (function
+            | None -> ()
+            | Some (name, config, msg) ->
+                incr failures;
+                Fmt.epr "%s under %a:@.%s@." name Config.pp config msg)
+          outcomes;
+        if !failures = 0 then
+          Fmt.pr
+            "verified %d program(s) under %d configuration(s) (jobs=%d): no violations@."
+            (List.length targets) (List.length cells)
+            (Nascent_support.Pool.default_jobs ())
+    | Some req ->
+        (* Fault matrix: smoke sweeps every class over every target and
+           every scheme whose pipeline can apply it, with a
+           deterministic per-cell seed; a single spec pins class and
+           seed. *)
+        let cells =
+          match req with
+          | Ir.Mutate.Single spec ->
+              List.concat_map
+                (fun (name, ir) ->
                   List.map
-                    (fun impl ->
-                      (name, ir, Config.make ~scheme ~kind ~impl ~verify:true ()))
-                    impls)
-                [ Config.PRX; Config.INX ])
-            Config.extended_schemes)
-        lowered
-    in
-    let outcomes =
-      Nascent_support.Pool.parallel_map
-        (Nascent_support.Pool.global ())
-        (fun (name, ir, config) ->
-          match Core.Optimizer.optimize ~config ir with
-          | _ -> None
-          | exception Ir.Verify.Invalid_ir msg -> Some (name, config, msg))
-        cells
-    in
-    List.iter
-      (function
-        | None -> ()
-        | Some (name, config, msg) ->
-            incr failures;
-            Fmt.epr "%s under %a:@.%s@." name Config.pp config msg)
-      outcomes;
-    if !failures = 0 then begin
-      Fmt.pr "verified %d program(s) under %d configuration(s) (jobs=%d): no violations@."
-        (List.length targets) (List.length cells)
-        (Nascent_support.Pool.default_jobs ());
-      0
-    end
+                    (fun scheme -> (name, ir, spec, scheme))
+                    (fault_schemes spec.Ir.Mutate.cls))
+                lowered
+          | Ir.Mutate.Smoke ->
+              List.concat_map
+                (fun cls ->
+                  List.concat_map
+                    (fun (name, ir) ->
+                      List.mapi
+                        (fun i scheme ->
+                          (name, ir, { Ir.Mutate.cls; seed = (13 * i) + 1 }, scheme))
+                        (fault_schemes cls))
+                    lowered)
+                Ir.Mutate.all_classes
+        in
+        let outcomes = Nascent_support.Pool.parallel_map pool fault_cell cells in
+        let injected = ref 0 in
+        List.iter
+          (fun (inj, errs) ->
+            if inj then incr injected;
+            List.iter
+              (fun e ->
+                incr failures;
+                Fmt.epr "%s@." e)
+              errs)
+          outcomes;
+        (* vacuity: a class that never actually corrupted anything
+           proved nothing — fail loudly rather than report green *)
+        let classes =
+          match req with
+          | Ir.Mutate.Single spec -> [ spec.Ir.Mutate.cls ]
+          | Ir.Mutate.Smoke -> Ir.Mutate.all_classes
+        in
+        List.iter
+          (fun cls ->
+            let applied =
+              List.exists2
+                (fun (_, _, spec, _) (inj, _) -> spec.Ir.Mutate.cls = cls && inj)
+                cells outcomes
+            in
+            if not applied then begin
+              incr failures;
+              Fmt.epr "fault class %s never applied to any cell (vacuous)@."
+                (Ir.Mutate.cls_name cls)
+            end)
+          classes;
+        if !failures = 0 then
+          Fmt.pr
+            "fault injection: %d/%d cell(s) corrupted, all detected, rolled back \
+             and behaviour-preserving (jobs=%d)@."
+            !injected (List.length cells)
+            (Nascent_support.Pool.default_jobs ()));
+    if !failures = 0 then 0
     else begin
       Fmt.epr "%d verification failure(s)@." !failures;
       1
     end
   in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ file_opt_arg $ trace_arg $ jobs_arg)
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ file_opt_arg $ fault_req_arg $ trace_arg $ jobs_arg)
 
 let cmd_list =
   let doc = "List the built-in benchmark programs." in

@@ -10,6 +10,7 @@
    reachable blocks. *)
 
 module Bitset = Nascent_support.Bitset
+module Guard = Nascent_support.Guard
 module Func = Nascent_ir.Func
 
 type direction = Forward | Backward
@@ -61,8 +62,24 @@ let solve (f : Func.t) ~universe ~direction ~(boundary : Bitset.t)
   let order = match direction with Forward -> rpo | Backward -> List.rev rpo in
   let entry = f.Func.entry in
   let tmp = Bitset.create universe in
+  (* Convergence bound: a must-problem over an n-block CFG strictly
+     shrinks some set on every productive sweep, so 8n + 64 sweeps is
+     far past any real fixpoint — hitting it means the transfer
+     functions are non-monotone (corrupted IR or a solver bug). The
+     explicit bound makes the solver total even with no ambient watchdog
+     installed; the per-sweep [Guard.tick_ambient] additionally charges
+     any enclosing pass or pool-task fuel budget. *)
+  let max_sweeps = (8 * n) + 64 in
+  let sweeps = ref 0 in
   let changed = ref true in
   while !changed do
+    Guard.tick_ambient ();
+    incr sweeps;
+    if !sweeps > max_sweeps then
+      raise
+        (Guard.Fuel_exhausted
+           (Printf.sprintf "dataflow solve in %s: no fixpoint after %d sweeps"
+              f.Func.fname max_sweeps));
     changed := false;
     List.iter
       (fun b ->

@@ -30,14 +30,23 @@ type t = {
       (* run the IR invariant verifier between optimizer steps; on by
          default (and in tests), disabled by the benchmark harness so
          Table 2/3 compile-time columns measure only the passes *)
+  fault : Nascent_ir.Mutate.spec option;
+      (* deliberately corrupt one pass's output (--inject-fault): the
+         fault-tolerance harness. Forces the verifier on. *)
 }
 
 let default =
-  { scheme = LLS; kind = PRX; impl = Universe.All_implications; verify = true }
+  {
+    scheme = LLS;
+    kind = PRX;
+    impl = Universe.All_implications;
+    verify = true;
+    fault = None;
+  }
 
 let make ?(scheme = LLS) ?(kind = PRX) ?(impl = Universe.All_implications)
-    ?(verify = true) () =
-  { scheme; kind; impl; verify }
+    ?(verify = true) ?fault () =
+  { scheme; kind; impl; verify; fault }
 
 let scheme_name = function
   | NI -> "NI"
@@ -68,15 +77,25 @@ let all_schemes = [ NI; CS; LNI; SE; LI; LLS; ALL ]
 (* Everything the optimizer implements, including the MCM extension. *)
 let extended_schemes = all_schemes @ [ MCM ]
 
+let fault_name = function
+  | None -> "none"
+  | Some s -> Nascent_ir.Mutate.spec_name s
+
 let pp ppf t =
-  Fmt.pf ppf "%s/%s/%s" (scheme_name t.scheme) (kind_name t.kind)
+  Fmt.pf ppf "%s/%s/%s%a" (scheme_name t.scheme) (kind_name t.kind)
     (Universe.mode_name t.impl)
+    (fun ppf -> function
+      | None -> ()
+      | Some s -> Fmt.pf ppf "+%s" (Nascent_ir.Mutate.spec_name s))
+    t.fault
 
 (* Stable serialization of EVERY axis for content-addressed caching.
    [verify] is included deliberately: the verifier changes no output,
    but a cached cell must record exactly the configuration that
    produced it, so verifier-on and verifier-off runs never share
-   entries. *)
+   entries. [fault] likewise: a deliberately degraded compile must
+   never serve a fault-free lookup. *)
 let cache_key t =
-  Printf.sprintf "%s/%s/%s/verify=%b" (scheme_name t.scheme) (kind_name t.kind)
-    (Universe.mode_name t.impl) t.verify
+  Printf.sprintf "%s/%s/%s/verify=%b/fault=%s" (scheme_name t.scheme)
+    (kind_name t.kind)
+    (Universe.mode_name t.impl) t.verify (fault_name t.fault)

@@ -28,22 +28,32 @@ type t = {
       (** run the IR invariant verifier ({!Nascent_ir.Verify}) between
           optimizer steps; on by default, disabled by the benchmark
           harness for timing runs *)
+  fault : Nascent_ir.Mutate.spec option;
+      (** deliberately corrupt one pass's output ([--inject-fault]) to
+          exercise the detect-and-rollback path; forces verification
+          on. [None] in every normal compile. *)
 }
 
 val default : t
-(** LLS / PRX / all implications / verify — the paper's winner. *)
+(** LLS / PRX / all implications / verify / no fault — the paper's
+    winner. *)
 
 val make :
   ?scheme:scheme ->
   ?kind:check_kind ->
   ?impl:Universe.mode ->
   ?verify:bool ->
+  ?fault:Nascent_ir.Mutate.spec ->
   unit ->
   t
 
 val scheme_name : scheme -> string
 val scheme_of_name : string -> scheme option
 val kind_name : check_kind -> string
+
+val fault_name : Nascent_ir.Mutate.spec option -> string
+(** ["none"] or {!Nascent_ir.Mutate.spec_name}, for cache keys and
+    reports. *)
 
 val all_schemes : scheme list
 (** The paper's Table 2 rows (no MCM). *)

@@ -181,6 +181,8 @@ let run (ctx : Checkctx.t) ~(placement : placement) : stats =
       in
       let changed = ref true in
       while !changed do
+        (* charge any enclosing pass/task fuel budget per sweep *)
+        Nascent_support.Guard.tick_ambient ();
         changed := false;
         List.iter
           (fun nd ->

@@ -18,6 +18,7 @@
 
 module Ir = Nascent_ir
 module Mclock = Nascent_support.Mclock
+module Guard = Nascent_support.Guard
 
 let log_src =
   Logs.Src.create "nascent.optimizer" ~doc:"Range-check optimizer pass pipeline"
@@ -30,6 +31,29 @@ type pass_stat = {
   pass_checks_before : int;
   pass_checks_after : int;
 }
+
+(* Why a pass was rolled back. *)
+type cause = Pass_exception | Verifier_rejected | Budget_exhausted
+
+let cause_name = function
+  | Pass_exception -> "exception"
+  | Verifier_rejected -> "verifier"
+  | Budget_exhausted -> "fuel"
+
+(* One rolled-back pass: the recovery path's audit record. *)
+type incident = {
+  inc_pass : string;
+  inc_func : string;
+  inc_cause : cause;
+  inc_detail : string;
+  inc_elapsed_s : float;
+}
+
+(* Per-pass fuel: every dataflow fixpoint sweep charges one ambient
+   tick, so this bounds iteration counts, not wall-clock. Benchmarks
+   converge in tens of sweeps per solve; a pass that burns through six
+   figures of sweeps is hung, not slow. *)
+let pass_fuel_budget = 200_000
 
 type stats = {
   config : Config.t;
@@ -45,6 +69,8 @@ type stats = {
   static_checks_before : int;
   static_checks_after : int;
   passes : pass_stat list; (* pipeline order *)
+  incidents : incident list; (* rolled-back passes, pipeline order *)
+  faults_injected : int; (* corruptions Mutate actually applied/triggered *)
   elapsed_s : float; (* monotonic optimization time, Table 2/3's Range column *)
 }
 
@@ -63,6 +89,8 @@ let empty_stats config =
     static_checks_before = 0;
     static_checks_after = 0;
     passes = [];
+    incidents = [];
+    faults_injected = 0;
     elapsed_s = 0.0;
   }
 
@@ -101,46 +129,113 @@ let add a b =
     static_checks_before = a.static_checks_before + b.static_checks_before;
     static_checks_after = a.static_checks_after + b.static_checks_after;
     passes = merge_passes a.passes b.passes;
+    incidents = a.incidents @ b.incidents;
+    faults_injected = a.faults_injected + b.faults_injected;
     elapsed_s = a.elapsed_s +. b.elapsed_s;
   }
 
-(* Optimize one function in place. *)
+(* Optimize one function in place.
+
+   Fail-safe contract: every pass runs against a snapshot of the
+   function. If the pass raises, the post-pass verifier rejects its
+   output, or the per-pass fuel budget runs out, the snapshot is
+   restored in place ({!Ir.Transform.restore_func}), an {!incident} is
+   recorded, and the pipeline continues with the remaining passes — in
+   the limit (every pass rolled back) the output degrades to the
+   always-safe NI configuration instead of the compile failing. *)
 let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
   let t0 = Mclock.counter () in
-  let verify = config.Config.verify in
+  let fault = config.Config.fault in
+  (* Fault injection is only meaningful under the detection oracle. *)
+  let verify = config.Config.verify || fault <> None in
   let _, checks_before = Ir.Func.static_counts f in
+  (* The input is verified outside the guard: a broken lowered function
+     has no earlier safe state to roll back to, so it still raises. *)
   if verify then Ir.Verify.func_exn ~pass:Ir.Verify.Lowered f;
   let passes = ref [] in
-  (* Time [body], record its pass stats, and — when verifying — check
-     the function against [vpass]'s differential rules relative to a
-     snapshot taken just before. [vpass = None] marks steps that do not
-     mutate the IR (context construction), which are timed but not
-     re-verified. *)
-  let run_pass name ?vpass body =
-    let before =
-      match vpass with
-      | Some _ when verify -> Some (Ir.Transform.copy_func f)
-      | _ -> None
-    in
+  let incidents = ref [] in
+  let faults_injected = ref 0 in
+  (* Time [body] under a fuel budget, record its pass stats, and — when
+     verifying — check the function against [vpass]'s differential
+     rules relative to the snapshot. [vpass = None] marks steps that do
+     not mutate the IR (context construction), which are timed and
+     guarded but not re-verified. Any fault (exception, verifier
+     rejection, fuel exhaustion) rolls the snapshot back and records an
+     incident instead of propagating. *)
+  let run_pass : type a. string -> ?vpass:Ir.Verify.pass -> (unit -> a) -> (a, unit) result
+      =
+   fun name ?vpass body ->
+    let before = Ir.Transform.copy_func f in
     let _, cb = Ir.Func.static_counts f in
     let t = Mclock.counter () in
-    let result = body () in
+    let outcome =
+      try
+        let r =
+          Guard.with_fuel
+            (Guard.fuel ~what:(f.Ir.Func.fname ^ ":" ^ name) ~budget:pass_fuel_budget)
+            (fun () ->
+              let r = body () in
+              (* Deliberate corruption of this pass's output, if the
+                 configured fault targets it. *)
+              (match fault with
+              | Some s when Ir.Mutate.target_pass s.Ir.Mutate.cls = name ->
+                  if Ir.Mutate.hangs s.Ir.Mutate.cls then begin
+                    incr faults_injected;
+                    Guard.exhaust_ambient ()
+                  end
+                  else if Ir.Mutate.apply ~seed:s.Ir.Mutate.seed s.Ir.Mutate.cls f then
+                    incr faults_injected
+              | _ -> ());
+              r)
+        in
+        (match vpass with
+        | Some pass when verify -> Ir.Verify.func_exn ~pass ~before f
+        | _ -> ());
+        Ok r
+      with
+      | Ir.Verify.Invalid_ir msg -> Error (Verifier_rejected, msg)
+      | Guard.Fuel_exhausted what ->
+          Error (Budget_exhausted, "fuel budget exhausted: " ^ what)
+      | Stack_overflow -> Error (Pass_exception, "stack overflow")
+      | e -> Error (Pass_exception, Printexc.to_string e)
+    in
     let dt = Mclock.elapsed_s t in
-    let _, ca = Ir.Func.static_counts f in
-    (match (vpass, before) with
-    | Some pass, Some before -> Ir.Verify.func_exn ~pass ~before f
-    | _ -> ());
-    passes :=
-      { pass = name; pass_time_s = dt; pass_checks_before = cb; pass_checks_after = ca }
-      :: !passes;
-    Log.debug (fun m ->
-        m "%s: %-12s checks %3d -> %3d  %8.3f ms%s" f.Ir.Func.fname name cb ca
-          (1000.0 *. dt)
-          (if verify && vpass <> None then "  [verified]" else ""));
-    result
+    match outcome with
+    | Ok r ->
+        let _, ca = Ir.Func.static_counts f in
+        passes :=
+          { pass = name; pass_time_s = dt; pass_checks_before = cb; pass_checks_after = ca }
+          :: !passes;
+        Log.debug (fun m ->
+            m "%s: %-12s checks %3d -> %3d  %8.3f ms%s" f.Ir.Func.fname name cb ca
+              (1000.0 *. dt)
+              (if verify && vpass <> None then "  [verified]" else ""));
+        Ok r
+    | Error (cause, detail) ->
+        Ir.Transform.restore_func ~from_:before f;
+        incidents :=
+          {
+            inc_pass = name;
+            inc_func = f.Ir.Func.fname;
+            inc_cause = cause;
+            inc_detail = detail;
+            inc_elapsed_s = dt;
+          }
+          :: !incidents;
+        (* The rolled-back attempt still consumed time; account for it
+           with an unchanged check count (the rollback's net effect). *)
+        passes :=
+          { pass = name; pass_time_s = dt; pass_checks_before = cb; pass_checks_after = cb }
+          :: !passes;
+        Log.warn (fun m ->
+            m "%s: %-12s ROLLED BACK (%s): %s" f.Ir.Func.fname name (cause_name cause)
+              detail);
+        Error ()
   in
+  let st = ref (empty_stats config) in
   (* INX: rewrite checks into induction-expression form first, so every
-     later pass sees induction checks (section 2.3). *)
+     later pass sees induction checks (section 2.3). A rolled-back
+     rewrite leaves PRX-form checks — weaker, still sound. *)
   if config.Config.kind = Config.INX then
     ignore
       (run_pass "inx-rewrite" ~vpass:Ir.Verify.Rewrite (fun () ->
@@ -148,104 +243,114 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
   (* The context — canonical site checks, kill oracles, loop structure,
      CIG — is built once and shared by every pass; [Checkctx.refresh]
      revalidates the loop structure after CFG-shaping passes instead of
-     rebuilding (and re-canonicalizing) from scratch. *)
-  let ctx = run_pass "context" (fun () -> Checkctx.create_prx ~mode:config.Config.impl f) in
-  let st = ref (empty_stats config) in
-  (match config.Config.scheme with
-  | Config.NI -> ()
-  | Config.CS ->
-      let s = run_pass "strengthen" ~vpass:Ir.Verify.Strengthen (fun () -> Strengthen.run ctx) in
-      st := { !st with strengthened = s.Strengthen.strengthened }
-  | Config.SE ->
-      let s =
-        run_pass "pre-insert" ~vpass:Ir.Verify.Code_motion (fun () ->
-            Lazy_motion.run ctx ~placement:Lazy_motion.Safe_earliest)
-      in
-      st := { !st with pre_inserted = s.Lazy_motion.inserted }
-  | Config.LNI ->
-      let s =
-        run_pass "pre-insert" ~vpass:Ir.Verify.Code_motion (fun () ->
-            Lazy_motion.run ctx ~placement:Lazy_motion.Latest_not_isolated)
-      in
-      st := { !st with pre_inserted = s.Lazy_motion.inserted }
-  | Config.LI ->
-      let s =
-        run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
-            Preheader.run ctx ~variant:Preheader.Invariant_only)
-      in
-      st :=
-        {
-          !st with
-          hoisted_invariant = s.Preheader.hoisted_invariant;
-          guards_inserted = s.Preheader.guards_inserted;
-          plain_inserted = s.Preheader.plain_inserted;
-        }
-  | Config.LLS ->
-      let s =
-        run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
-            Preheader.run ctx ~variant:Preheader.Loop_limit)
-      in
-      st :=
-        {
-          !st with
-          hoisted_invariant = s.Preheader.hoisted_invariant;
-          hoisted_linear = s.Preheader.hoisted_linear;
-          guards_inserted = s.Preheader.guards_inserted;
-          plain_inserted = s.Preheader.plain_inserted;
-        }
-  | Config.MCM ->
-      let s =
-        run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
-            Preheader.run ctx ~variant:Preheader.Markstein)
-      in
-      st :=
-        {
-          !st with
-          hoisted_invariant = s.Preheader.hoisted_invariant;
-          hoisted_linear = s.Preheader.hoisted_linear;
-          guards_inserted = s.Preheader.guards_inserted;
-          plain_inserted = s.Preheader.plain_inserted;
-        }
-  | Config.ALL ->
-      let s1 =
-        run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
-            Preheader.run ctx ~variant:Preheader.Loop_limit)
-      in
-      let s2 =
-        run_pass "pre-insert" ~vpass:Ir.Verify.Code_motion (fun () ->
+     rebuilding (and re-canonicalizing) from scratch. Without a context
+     no pass can run: a context fault degrades this function all the
+     way to its naive-checked form (the NI floor). *)
+  (match run_pass "context" (fun () -> Checkctx.create_prx ~mode:config.Config.impl f) with
+  | Error () -> ()
+  | Ok ctx ->
+      (match config.Config.scheme with
+      | Config.NI -> ()
+      | Config.CS -> (
+          match
+            run_pass "strengthen" ~vpass:Ir.Verify.Strengthen (fun () -> Strengthen.run ctx)
+          with
+          | Ok s -> st := { !st with strengthened = s.Strengthen.strengthened }
+          | Error () -> ())
+      | Config.SE | Config.LNI -> (
+          let placement =
+            if config.Config.scheme = Config.SE then Lazy_motion.Safe_earliest
+            else Lazy_motion.Latest_not_isolated
+          in
+          match
+            run_pass "pre-insert" ~vpass:Ir.Verify.Code_motion (fun () ->
+                Lazy_motion.run ctx ~placement)
+          with
+          | Ok s -> st := { !st with pre_inserted = s.Lazy_motion.inserted }
+          | Error () -> ())
+      | Config.LI | Config.LLS | Config.MCM -> (
+          let variant =
+            match config.Config.scheme with
+            | Config.LI -> Preheader.Invariant_only
+            | Config.MCM -> Preheader.Markstein
+            | _ -> Preheader.Loop_limit
+          in
+          match
+            run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () -> Preheader.run ctx ~variant)
+          with
+          | Ok s ->
+              st :=
+                {
+                  !st with
+                  hoisted_invariant = s.Preheader.hoisted_invariant;
+                  hoisted_linear =
+                    (if config.Config.scheme = Config.LI then 0
+                     else s.Preheader.hoisted_linear);
+                  guards_inserted = s.Preheader.guards_inserted;
+                  plain_inserted = s.Preheader.plain_inserted;
+                }
+          | Error () -> ())
+      | Config.ALL ->
+          (match
+             run_pass "hoist" ~vpass:Ir.Verify.Hoist (fun () ->
+                 Preheader.run ctx ~variant:Preheader.Loop_limit)
+           with
+          | Ok s1 ->
+              st :=
+                {
+                  !st with
+                  hoisted_invariant = s1.Preheader.hoisted_invariant;
+                  hoisted_linear = s1.Preheader.hoisted_linear;
+                  guards_inserted = s1.Preheader.guards_inserted;
+                  plain_inserted = s1.Preheader.plain_inserted;
+                }
+          | Error () -> ());
+          (match
+             run_pass "pre-insert" ~vpass:Ir.Verify.Code_motion (fun () ->
+                 Checkctx.refresh ctx;
+                 Lazy_motion.run ctx ~placement:Lazy_motion.Safe_earliest)
+           with
+          | Ok s2 -> st := { !st with pre_inserted = s2.Lazy_motion.inserted }
+          | Error () -> ()));
+      (* A rolled-back eliminate/fold leaves counters [e] accumulated
+         mid-flight; read them only from passes that committed. *)
+      let e = Eliminate.new_stats () in
+      let elim =
+        run_pass "eliminate" ~vpass:Ir.Verify.Elimination (fun () ->
             Checkctx.refresh ctx;
-            Lazy_motion.run ctx ~placement:Lazy_motion.Safe_earliest)
+            Eliminate.redundancy_elimination (Analyses.make_env ctx) e)
+      in
+      let fold =
+        run_pass "fold" ~vpass:Ir.Verify.Fold (fun () -> Eliminate.compile_time_checks f e)
       in
       st :=
         {
           !st with
-          hoisted_invariant = s1.Preheader.hoisted_invariant;
-          hoisted_linear = s1.Preheader.hoisted_linear;
-          guards_inserted = s1.Preheader.guards_inserted;
-          plain_inserted = s1.Preheader.plain_inserted;
-          pre_inserted = s2.Lazy_motion.inserted;
+          redundant_deleted =
+            (match elim with Ok () -> e.Eliminate.redundant_deleted | Error () -> 0);
+          compile_time_deleted =
+            (match fold with Ok () -> e.Eliminate.compile_time_deleted | Error () -> 0);
+          compile_time_traps =
+            (match fold with Ok () -> e.Eliminate.compile_time_traps | Error () -> 0);
         });
-  let e = Eliminate.new_stats () in
-  run_pass "eliminate" ~vpass:Ir.Verify.Elimination (fun () ->
-      Checkctx.refresh ctx;
-      Eliminate.redundancy_elimination (Analyses.make_env ctx) e);
-  run_pass "fold" ~vpass:Ir.Verify.Fold (fun () -> Eliminate.compile_time_checks f e);
   let _, checks_after = Ir.Func.static_counts f in
   let result =
     {
       !st with
-      redundant_deleted = e.Eliminate.redundant_deleted;
-      compile_time_deleted = e.Eliminate.compile_time_deleted;
-      compile_time_traps = e.Eliminate.compile_time_traps;
       static_checks_before = checks_before;
       static_checks_after = checks_after;
       passes = List.rev !passes;
+      incidents = List.rev !incidents;
+      faults_injected = !faults_injected;
       elapsed_s = Mclock.elapsed_s t0;
     }
   in
   Log.info (fun m ->
-      m "%s: %a checks %d -> %d in %.3f ms" f.Ir.Func.fname Config.pp config
-        checks_before checks_after (1000.0 *. result.elapsed_s));
+      m "%s: %a checks %d -> %d in %.3f ms%s" f.Ir.Func.fname Config.pp config
+        checks_before checks_after (1000.0 *. result.elapsed_s)
+        (match result.incidents with
+        | [] -> ""
+        | is -> Fmt.str " (%d pass(es) rolled back)" (List.length is)));
   result
 
 (* Optimize a whole program, returning the optimized copy and the
@@ -260,6 +365,11 @@ let pp_pass_stat ppf p =
   Fmt.pf ppf "%-12s checks %3d -> %3d  %8.3f ms" p.pass p.pass_checks_before
     p.pass_checks_after (1000.0 *. p.pass_time_s)
 
+let pp_incident ppf (i : incident) =
+  Fmt.pf ppf "%s: %-12s rolled back (%s): %s  %8.3f ms" i.inc_func i.inc_pass
+    (cause_name i.inc_cause) i.inc_detail
+    (1000.0 *. i.inc_elapsed_s)
+
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "@[<v>config: %a@,\
@@ -268,23 +378,35 @@ let pp_stats ppf (s : stats) =
      hoisted: %d invariant + %d linear (%d cond + %d plain inserted)@,\
      deleted: %d redundant + %d compile-time (%d traps)@,\
      %a@,\
-     time: %.4fs@]"
+     %atime: %.4fs@]"
     Config.pp s.config s.static_checks_before s.static_checks_after s.strengthened
     s.pre_inserted s.hoisted_invariant s.hoisted_linear s.guards_inserted
     s.plain_inserted s.redundant_deleted s.compile_time_deleted s.compile_time_traps
-    (Fmt.list pp_pass_stat) s.passes s.elapsed_s
+    (Fmt.list pp_pass_stat) s.passes
+    (fun ppf -> function
+      | [] -> ()
+      | is ->
+          Fmt.pf ppf "incidents: %d (%d fault(s) injected)@,%a@,"
+            (List.length is) s.faults_injected (Fmt.list pp_incident) is)
+    s.incidents s.elapsed_s
 
 (* Hand-rolled JSON (no JSON library in the tree): every emitted value
-   is a number or a fixed-alphabet name, so quoting is trivial. *)
+   is a number or a fixed-alphabet name, except incident details —
+   verifier messages and exception texts — which [%S] escapes. OCaml's
+   [%S] and JSON string syntax agree on every character these can
+   contain (printable ASCII, backslash, quote). *)
 let stats_to_json (s : stats) : string =
   let buf = Buffer.create 512 in
   let pf fmt = Printf.bprintf buf fmt in
   pf "{\n";
-  pf "  \"config\": {\"scheme\": %S, \"kind\": %S, \"impl\": %S, \"verify\": %b},\n"
+  pf
+    "  \"config\": {\"scheme\": %S, \"kind\": %S, \"impl\": %S, \"verify\": %b, \
+     \"fault\": %S},\n"
     (Config.scheme_name s.config.Config.scheme)
     (Config.kind_name s.config.Config.kind)
     (Nascent_checks.Universe.mode_name s.config.Config.impl)
-    s.config.Config.verify;
+    s.config.Config.verify
+    (Config.fault_name s.config.Config.fault);
   pf "  \"static_checks_before\": %d,\n" s.static_checks_before;
   pf "  \"static_checks_after\": %d,\n" s.static_checks_after;
   pf "  \"strengthened\": %d,\n" s.strengthened;
@@ -306,5 +428,17 @@ let stats_to_json (s : stats) : string =
          \"checks_after\": %d}"
         p.pass p.pass_time_s p.pass_checks_before p.pass_checks_after)
     s.passes;
+  pf "\n  ],\n";
+  pf "  \"faults_injected\": %d,\n" s.faults_injected;
+  pf "  \"incidents\": [";
+  List.iteri
+    (fun i inc ->
+      if i > 0 then pf ",";
+      pf
+        "\n    {\"pass\": %S, \"func\": %S, \"cause\": %S, \"detail\": %S, \
+         \"elapsed_s\": %.9f}"
+        inc.inc_pass inc.inc_func (cause_name inc.inc_cause) inc.inc_detail
+        inc.inc_elapsed_s)
+    s.incidents;
   pf "\n  ]\n}\n";
   Buffer.contents buf

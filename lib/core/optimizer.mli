@@ -17,11 +17,24 @@
     checks.
 
     When [Config.verify] is set, {!Nascent_ir.Verify} additionally
-    checks the IR between every step (raising
-    {!Nascent_ir.Verify.Invalid_ir} on a violation), and every step is
-    always timed with a monotonic clock into per-pass {!pass_stat}
-    records. Pass progress is traced on the {!log_src} log source at
-    debug level. *)
+    checks the IR between every step, and every step is always timed
+    with a monotonic clock into per-pass {!pass_stat} records. Pass
+    progress is traced on the {!log_src} log source at debug level.
+
+    {b Fail-safe contract.} Every pass runs against a snapshot of the
+    function IR. If the pass raises, the verifier rejects its output,
+    or the per-pass fuel budget ({!pass_fuel_budget}) is exhausted, the
+    snapshot is restored in place, an {!incident} is recorded in
+    {!stats}, and compilation continues with the remaining passes — in
+    the limit every pass rolls back and the function degrades to the
+    always-safe NI form. {!optimize} and {!optimize_func} therefore no
+    longer raise on a mid-pipeline verifier violation; only the
+    {e input} verification (pass [Lowered], nothing to roll back to)
+    still raises {!Nascent_ir.Verify.Invalid_ir}.
+
+    [Config.fault] (the [--inject-fault] CLI flag) deliberately
+    corrupts one pass's output via {!Nascent_ir.Mutate} to exercise
+    this detect-and-rollback path; it forces verification on. *)
 
 val log_src : Logs.src
 (** The ["nascent.optimizer"] log source carrying per-pass traces. *)
@@ -32,6 +45,29 @@ type pass_stat = {
   pass_checks_before : int;
   pass_checks_after : int;
 }
+
+(** Why a pass was rolled back. *)
+type cause =
+  | Pass_exception  (** the pass body raised *)
+  | Verifier_rejected  (** {!Nascent_ir.Verify} refused the pass output *)
+  | Budget_exhausted  (** the per-pass fuel budget ran out *)
+
+val cause_name : cause -> string
+(** ["exception"], ["verifier"] or ["fuel"]. *)
+
+(** One rolled-back pass: the recovery path's audit record. *)
+type incident = {
+  inc_pass : string;
+  inc_func : string;
+  inc_cause : cause;
+  inc_detail : string;  (** verifier message / exception text / fuel tag *)
+  inc_elapsed_s : float;  (** time burned by the failed attempt *)
+}
+
+val pass_fuel_budget : int
+(** Iteration budget per pass: dataflow fixpoint sweeps charge one
+    ambient {!Nascent_support.Guard} tick each, so this bounds sweep
+    counts deterministically, not wall-clock. *)
 
 type stats = {
   config : Config.t;
@@ -47,6 +83,10 @@ type stats = {
   static_checks_before : int;
   static_checks_after : int;
   passes : pass_stat list;  (** pipeline order *)
+  incidents : incident list;  (** rolled-back passes, pipeline order *)
+  faults_injected : int;
+      (** corruptions {!Nascent_ir.Mutate} actually applied or
+          triggered; [0] in every fault-free compile *)
   elapsed_s : float;
       (** monotonic optimization time — Table 2/3's "Range" column *)
 }
@@ -57,16 +97,22 @@ val add : stats -> stats -> stats
 (** Sums counters and per-pass records (merged by pass name). *)
 
 val optimize_func : Config.t -> Nascent_ir.Func.t -> stats
-(** Optimize one function in place.
-    @raise Nascent_ir.Verify.Invalid_ir when [Config.verify] is set and
-    a pass breaks an IR invariant. *)
+(** Optimize one function in place. A pass that faults is rolled back
+    and reported in [stats.incidents]; the function is always left in a
+    verified-safe state.
+    @raise Nascent_ir.Verify.Invalid_ir when verification is on and the
+    {e input} function is already invalid (pass [Lowered] — there is no
+    earlier state to roll back to). *)
 
 val optimize :
   ?config:Config.t -> Nascent_ir.Program.t -> Nascent_ir.Program.t * stats
 (** Optimize a whole program. The input is not modified: optimization
-    runs on a copy, which is returned with aggregated statistics. *)
+    runs on a copy, which is returned with aggregated statistics.
+    Check [stats.incidents] to learn whether any function compiled
+    degraded. *)
 
 val pp_pass_stat : pass_stat Fmt.t
+val pp_incident : incident Fmt.t
 val pp_stats : stats Fmt.t
 
 val stats_to_json : stats -> string

@@ -30,6 +30,26 @@ module Memo = Nascent_support.Memo
    test/test_parallel.ml. *)
 let pool () = Pool.global ()
 
+(* Per-cell watchdog: every cell runs under its own Guard fuel budget,
+   charged one tick per dataflow/PRE fixpoint sweep, so one divergent
+   cell fails (lowest-index exception, per the pool contract) instead
+   of wedging a worker domain for the whole matrix. The default is ~3
+   orders of magnitude above what the suite's hottest cell uses;
+   [NASCENT_CELL_FUEL=0] disables the watchdog, any other positive
+   value overrides it. *)
+let default_cell_fuel = 50_000_000
+
+let cell_fuel () =
+  match Sys.getenv_opt "NASCENT_CELL_FUEL" with
+  | None -> Some default_cell_fuel
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some 0 -> None
+      | Some n when n > 0 -> Some n
+      | _ -> Some default_cell_fuel)
+
+let parallel_map f xs = Pool.parallel_map ?task_fuel:(cell_fuel ()) (pool ()) f xs
+
 (* --- Table 1: program characteristics -------------------------------- *)
 
 type characteristics = {
@@ -71,7 +91,7 @@ let characterize (bench : B.benchmark) : characteristics =
     dyn_checks = o_naive.Run.checks;
   }
 
-let characterize_all () = Pool.parallel_map (pool ()) characterize B.all
+let characterize_all () = parallel_map characterize B.all
 
 (* --- Tables 2 and 3: per-configuration runs -------------------------- *)
 
@@ -81,11 +101,14 @@ type cell = {
   range_time_s : float; (* optimization phase *)
   compile_time_s : float; (* parse + lower + optimize *)
   pass_times : (string * float) list; (* per-pass range-time breakdown *)
+  incidents : int;
+      (* optimizer passes rolled back while computing this cell; 0 in a
+         healthy run, structural (invariant across pool sizes) *)
 }
 
 (* Cache key version: bump when [cell]'s shape or the counting model
    changes, or stale on-disk entries would replay the old shape. *)
-let cell_version = "cell-v1"
+let cell_version = "cell-v2"
 
 let cell_cache : cell Memo.t = Memo.create ~name:"cells" ()
 let cell_cache_stats () = Memo.stats cell_cache
@@ -122,6 +145,7 @@ let run_config (c : characteristics) (config : Config.t) : cell =
       List.map
         (fun p -> (p.Core.Optimizer.pass, p.Core.Optimizer.pass_time_s))
         stats.Core.Optimizer.passes;
+    incidents = List.length stats.Core.Optimizer.incidents;
   }
 
 (* A table row: one (scheme, kind, impl) configuration across all
@@ -169,7 +193,7 @@ let run_rows (chars : characteristics list)
   let tasks =
     List.concat_map (fun (_, config) -> List.map (fun c -> (c, config)) chars) specs
   in
-  let cells = Pool.parallel_map (pool ()) (fun (c, config) -> run_config c config) tasks in
+  let cells = parallel_map (fun (c, config) -> run_config c config) tasks in
   let n = List.length chars in
   let rec rows specs cells =
     match specs with

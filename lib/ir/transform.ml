@@ -27,6 +27,36 @@ let copy_func (f : Func.t) : Func.t =
     (* vars/arrays are immutable values: shared. *)
   }
 
+(* Roll a function back to a [copy_func] snapshot, in place: the
+   [Func.t] record (and the block records the snapshot shares ids
+   with) keep their physical identity, so contexts holding the
+   function stay valid. Blocks a failed pass appended beyond the
+   snapshot are dropped; blocks the snapshot knows are restored
+   field-by-field. The atom table is NOT rewound: it is append-only
+   and interning is keyed by content, so entries a rolled-back pass
+   interned are merely unused. *)
+let restore_func ~(from_ : Func.t) (f : Func.t) : unit =
+  let n = Vec.length from_.Func.blocks in
+  if Vec.length f.Func.blocks > n then Vec.truncate f.Func.blocks n;
+  Vec.iteri
+    (fun i (s : block) ->
+      if i < Vec.length f.Func.blocks then begin
+        let b = Vec.get f.Func.blocks i in
+        b.instrs <- s.instrs;
+        b.term <- s.term
+      end
+      else ignore (Vec.push f.Func.blocks { bid = s.bid; instrs = s.instrs; term = s.term }))
+    from_.Func.blocks;
+  f.Func.params <- from_.Func.params;
+  f.Func.vars <- from_.Func.vars;
+  f.Func.arrays <- from_.Func.arrays;
+  f.Func.entry <- from_.Func.entry;
+  f.Func.loops <-
+    List.map
+      (function Ldo d -> Ldo { d with d_basic = d.d_basic } | Lwhile w -> Lwhile w)
+      from_.Func.loops;
+  f.Func.next_vid <- from_.Func.next_vid
+
 let copy_program (p : Program.t) : Program.t =
   let q = Program.create ~main:p.Program.main in
   Program.iter_funcs (fun f -> Program.add q (copy_func f)) p;

@@ -8,6 +8,15 @@
 val copy_func : Func.t -> Func.t
 val copy_program : Program.t -> Program.t
 
+val restore_func : from_:Func.t -> Func.t -> unit
+(** [restore_func ~from_:snapshot f] rolls [f] back to [snapshot] (a
+    {!copy_func} of [f] taken earlier), in place: block records and the
+    [Func.t] record keep their physical identity, blocks appended since
+    the snapshot are dropped, and instruction lists / terminators /
+    scalar tables / loop metadata are restored to the snapshot's
+    values. The append-only atom table is deliberately left alone —
+    entries interned by a rolled-back pass are unused, not wrong. *)
+
 val strip_checks_func : Func.t -> unit
 
 val strip_checks : Program.t -> Program.t

@@ -1,0 +1,62 @@
+(* Fault-containment primitives for the fail-safe pipeline.
+
+   Three small mechanisms, shared by the optimizer, the analyses and
+   the harness:
+
+   - explicit fuel counters: a mutable iteration budget whose
+     exhaustion raises [Fuel_exhausted] — the deterministic analogue of
+     a wall-clock watchdog, so a hung dataflow fixpoint is caught at
+     the same tick on every run;
+   - an ambient per-domain fuel stack: [with_fuel] installs a budget
+     for the dynamic extent of a computation, and [tick_ambient]
+     (called from fixpoint loops) charges every installed budget, so an
+     outer watchdog (a pool task) bounds everything nested under it;
+   - atomic file writes (temp file + rename in the target directory),
+     so an interrupted run never leaves a half-written JSON or cache
+     entry behind. *)
+
+exception Fuel_exhausted of string
+
+type fuel = { what : string; mutable remaining : int }
+
+let fuel ~what ~budget = { what; remaining = max 1 budget }
+
+let remaining f = f.remaining
+
+let tick f =
+  f.remaining <- f.remaining - 1;
+  if f.remaining <= 0 then raise (Fuel_exhausted f.what)
+
+(* The ambient stack is per-domain state: pool workers each carry their
+   own, so one task's budget never charges another's. *)
+let ambient : fuel list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let with_fuel f body =
+  let stack = Domain.DLS.get ambient in
+  stack := f :: !stack;
+  Fun.protect ~finally:(fun () -> stack := List.tl !stack) body
+
+let tick_ambient () = List.iter tick !(Domain.DLS.get ambient)
+
+let rec exhaust_ambient () =
+  match !(Domain.DLS.get ambient) with
+  | [] -> raise (Fuel_exhausted "exhaust_ambient: no ambient budget installed")
+  | _ ->
+      tick_ambient ();
+      exhaust_ambient ()
+
+(* --- atomic writes ---------------------------------------------------- *)
+
+(* The temp file lives in the target's own directory so the final
+   [Sys.rename] stays within one filesystem (rename is atomic there). *)
+let write_atomic ~path contents =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  match
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e

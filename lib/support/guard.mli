@@ -1,0 +1,54 @@
+(** Fault-containment primitives: deterministic fuel watchdogs and
+    atomic file writes.
+
+    Fuel replaces wall-clock watchdogs everywhere determinism matters:
+    a budget is a tick counter, fixpoint loops charge it once per
+    sweep, and exhaustion raises {!Fuel_exhausted} at the same tick on
+    every run, every pool size, every machine. The optimizer installs
+    one budget per pass (so a hung fixpoint rolls back that pass); the
+    pool can install one per task (so a pathological cell fails
+    promptly instead of wedging a whole [bench tables] run). *)
+
+exception Fuel_exhausted of string
+(** Raised by {!tick} when a budget runs out; the payload names the
+    budget ([what]). *)
+
+type fuel
+
+val fuel : what:string -> budget:int -> fuel
+(** A fresh budget of [max 1 budget] ticks named [what]. *)
+
+val remaining : fuel -> int
+
+val tick : fuel -> unit
+(** Charge one tick. @raise Fuel_exhausted when the budget hits 0. *)
+
+(** {2 Ambient budgets}
+
+    A per-domain stack of installed budgets. Fixpoint loops call
+    {!tick_ambient} instead of threading a [fuel] parameter through
+    every analysis signature; each call charges {e every} installed
+    budget, so an outer watchdog bounds all work nested under it. *)
+
+val with_fuel : fuel -> (unit -> 'a) -> 'a
+(** Install [fuel] for the dynamic extent of the thunk (re-entrant:
+    budgets nest). The installation is per-domain. *)
+
+val tick_ambient : unit -> unit
+(** Charge every ambient budget of the current domain; no-op when none
+    is installed. @raise Fuel_exhausted from the innermost exhausted
+    budget. *)
+
+val exhaust_ambient : unit -> 'a
+(** Spin on {!tick_ambient} until a budget runs out — the fault
+    injector's deterministic stand-in for a hung fixpoint.
+    @raise Fuel_exhausted always (immediately when no budget is
+    installed). *)
+
+(** {2 Atomic writes} *)
+
+val write_atomic : path:string -> string -> unit
+(** Write [contents] to [path] via a temp file in the same directory
+    and an atomic [rename]: readers see either the old file or the
+    complete new one, never a torn write. Raises as [Out_channel] /
+    [Sys.rename] do (the temp file is removed on failure). *)

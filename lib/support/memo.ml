@@ -5,7 +5,7 @@
    bit-for-bit, which is what makes warm parallel reruns byte-identical
    to the serial run. *)
 
-type counters = { hits : int; disk_hits : int; misses : int }
+type counters = { hits : int; disk_hits : int; misses : int; quarantined : int }
 
 type 'v t = {
   name : string;
@@ -14,6 +14,7 @@ type 'v t = {
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
+  mutable quarantined : int;
   disk_dir : string option;
 }
 
@@ -40,16 +41,29 @@ let create ?disk_dir ~name () =
     hits = 0;
     disk_hits = 0;
     misses = 0;
+    quarantined = 0;
     disk_dir;
   }
 
 (* --- disk store ------------------------------------------------------- *)
 
-(* A fixed magic string guards against reading foreign files; the
-   content digest in the filename guards against stale values. Marshal
-   is not type-safe across incompatible readers, which is why callers
-   version their keys. *)
-let file_magic = "NASCENT-MEMO.v1\n"
+(* Entry layout, v2:
+
+     NASCENT-MEMO.v2\n
+     <32 hex chars: MD5 of the payload>\n
+     <payload: Marshal.to_string of the value>
+
+   The magic string guards against reading foreign files; the embedded
+   payload digest guards against truncated or bit-flipped entries —
+   Marshal.from_string on torn input can raise (or worse, succeed with
+   garbage), so the digest is verified BEFORE unmarshalling. Marshal is
+   still not type-safe across incompatible readers, which is why
+   callers version their keys. Any entry that fails validation is moved
+   aside to [<dir>/quarantine/] — preserved for post-mortems, never
+   read again — and the lookup degrades to a miss. *)
+let file_magic = "NASCENT-MEMO.v2\n"
+
+let digest_hex_len = 32
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -59,16 +73,59 @@ let rec mkdir_p dir =
 
 let entry_path t k dir = Filename.concat (Filename.concat dir t.name) k
 
+let quarantine_dir dir = Filename.concat dir "quarantine"
+
+(* Move a failed entry aside (best effort — a removal-racing reader or
+   a read-only tree just leaves it) and count it. *)
+let quarantine t ~path ~key dir reason =
+  let qd = quarantine_dir dir in
+  (try
+     mkdir_p qd;
+     Sys.rename path (Filename.concat qd (t.name ^ "." ^ key))
+   with Sys_error _ -> ());
+  Mutex.lock t.lock;
+  t.quarantined <- t.quarantined + 1;
+  Mutex.unlock t.lock;
+  Logs.warn (fun m ->
+      m "memo %s: quarantined corrupt cache entry %s (%s)" t.name key reason)
+
+(* Parse and validate one entry file; [Error reason] covers every
+   corruption mode: foreign/old magic, truncation anywhere, payload
+   digest mismatch. *)
+let read_entry path =
+  match
+    In_channel.with_open_bin path (fun ic ->
+        let m = really_input_string ic (String.length file_magic) in
+        let dh = really_input_string ic (digest_hex_len + 1) in
+        let payload = In_channel.input_all ic in
+        (m, dh, payload))
+  with
+  | exception End_of_file -> Error "truncated header"
+  | m, _, _ when m <> file_magic -> Error "bad magic"
+  | _, dh, _ when dh.[digest_hex_len] <> '\n' -> Error "malformed digest line"
+  | _, dh, payload ->
+      let dh = String.sub dh 0 digest_hex_len in
+      if Digest.to_hex (Digest.string payload) <> dh then
+        Error "payload digest mismatch"
+      else
+        (* The digest matched, so this is byte-for-byte what a writer
+           marshalled; from_string can still raise on reader/writer
+           value-shape skew, which key versioning is meant to prevent —
+           treat it as corruption all the same. *)
+        (try Ok (Marshal.from_string payload 0)
+         with Failure _ -> Error "unmarshal failed")
+
 let disk_read t k =
   match t.disk_dir with
   | None -> None
   | Some dir -> (
       let path = entry_path t k dir in
-      try
-        In_channel.with_open_bin path (fun ic ->
-            let m = really_input_string ic (String.length file_magic) in
-            if m <> file_magic then None else Some (Marshal.from_channel ic))
-      with _ -> None)
+      match read_entry path with
+      | Ok v -> Some v
+      | Error reason ->
+          quarantine t ~path ~key:k dir reason;
+          None
+      | exception Sys_error _ -> None (* absent entry: a plain miss *))
 
 let disk_write t k v =
   match t.disk_dir with
@@ -77,13 +134,12 @@ let disk_write t k v =
       try
         let d = Filename.concat dir t.name in
         mkdir_p d;
-        (* write-then-rename: concurrent writers of the same key never
+        let payload = Marshal.to_string v [] in
+        (* temp + rename: concurrent writers of the same key never
            expose a torn entry *)
-        let tmp = Filename.temp_file ~temp_dir:d "entry" ".tmp" in
-        Out_channel.with_open_bin tmp (fun oc ->
-            output_string oc file_magic;
-            Marshal.to_channel oc v []);
-        Sys.rename tmp (entry_path t k dir)
+        Guard.write_atomic ~path:(entry_path t k dir)
+          (String.concat ""
+             [ file_magic; Digest.to_hex (Digest.string payload); "\n"; payload ])
       with Sys_error _ -> () (* a read-only tree disables persistence *))
 
 let clear_disk t =
@@ -128,7 +184,14 @@ let find_or_compute t ~key f =
 
 let stats t =
   Mutex.lock t.lock;
-  let c = { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses } in
+  let c =
+    {
+      hits = t.hits;
+      disk_hits = t.disk_hits;
+      misses = t.misses;
+      quarantined = t.quarantined;
+    }
+  in
   Mutex.unlock t.lock;
   c
 
@@ -138,4 +201,5 @@ let clear t =
   t.hits <- 0;
   t.disk_hits <- 0;
   t.misses <- 0;
+  t.quarantined <- 0;
   Mutex.unlock t.lock

@@ -19,6 +19,9 @@ type counters = {
   hits : int;  (** in-memory or disk hits *)
   disk_hits : int;  (** subset of [hits] served from the disk store *)
   misses : int;  (** recomputations *)
+  quarantined : int;
+      (** corrupt disk entries detected, moved to [<dir>/quarantine/]
+          and re-counted as misses *)
 }
 
 val key : string list -> string
@@ -36,7 +39,14 @@ val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
 (** Return the cached value for [key], reading through to the disk
     store, or compute, cache and persist it. Safe to call from pool
     workers; concurrent computations of the same fresh key may both
-    run (last write wins — values are deterministic, so equal). *)
+    run (last write wins — values are deterministic, so equal).
+
+    Disk entries carry an embedded content digest; a truncated or
+    corrupted entry is detected on read, moved to [<dir>/quarantine/]
+    for post-mortems, counted in [counters.quarantined], and the lookup
+    degrades to an ordinary miss (recompute and re-persist) instead of
+    raising. Entries are written atomically (temp file + rename), so an
+    interrupted writer never leaves a torn entry behind. *)
 
 val stats : 'v t -> counters
 

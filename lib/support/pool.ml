@@ -81,7 +81,18 @@ let submit t task =
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
-let parallel_map (type b) t (f : 'a -> b) (xs : 'a list) : b list =
+(* Optional per-task watchdog: run [f] under its own ambient fuel
+   budget (Guard), so a task whose fixpoints stop converging is cut off
+   at a deterministic tick count instead of wedging a worker domain
+   forever. The budget is per task, not per batch. *)
+let with_task_fuel ?task_fuel f x =
+  match task_fuel with
+  | None -> f x
+  | Some budget ->
+      Guard.with_fuel (Guard.fuel ~what:"pool-task" ~budget) (fun () -> f x)
+
+let parallel_map (type b) ?task_fuel t (f : 'a -> b) (xs : 'a list) : b list =
+  let f x = with_task_fuel ?task_fuel f x in
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
@@ -142,7 +153,8 @@ let parallel_map (type b) t (f : 'a -> b) (xs : 'a list) : b list =
       | None -> ());
       Array.to_list out |> List.map Option.get
 
-let parallel_iter t f xs = ignore (parallel_map t (fun x -> f x) xs : unit list)
+let parallel_iter ?task_fuel t f xs =
+  ignore (parallel_map ?task_fuel t (fun x -> f x) xs : unit list)
 
 (* --- the process-wide jobs knob and pool ------------------------------ *)
 

@@ -32,15 +32,21 @@ val shutdown : t -> unit
 (** Signal the workers to exit and join them. Pending tasks are drained
     first; submitting to a shut-down pool raises. *)
 
-val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map : ?task_fuel:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map t f xs ≡ List.map f xs], computed on up to
     [jobs t] domains. See the module description for the ordering and
-    exception contract. *)
+    exception contract.
 
-val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+    [?task_fuel] installs a per-task watchdog: each task runs under its
+    own ambient {!Guard} fuel budget, charged by every
+    {!Guard.tick_ambient} the task's fixpoints execute, and a task that
+    exhausts it raises {!Guard.Fuel_exhausted} (delivered via the usual
+    exception contract) instead of wedging a worker domain forever. *)
+
+val parallel_iter : ?task_fuel:int -> t -> ('a -> unit) -> 'a list -> unit
 (** [parallel_iter t f xs]: run [f] on every element, in parallel.
     Completion order is unspecified; exceptions follow
-    {!parallel_map}'s lowest-index rule. *)
+    {!parallel_map}'s lowest-index rule, [?task_fuel] its watchdog. *)
 
 (** {2 The jobs knob}
 

@@ -32,6 +32,13 @@ let push t x =
   t.len <- t.len + 1;
   t.len - 1
 
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate";
+  (* Release dropped elements so the dummy is the only thing kept
+     alive beyond [n]. *)
+  Array.fill t.data n (t.len - n) t.dummy;
+  t.len <- n
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f t.data.(i)

@@ -19,6 +19,11 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> int
 (** Append; returns the new element's index. *)
 
+val truncate : 'a t -> int -> unit
+(** [truncate t n] drops every element at index [>= n] (used by
+    rollback to discard blocks a failed pass appended).
+    @raise Invalid_argument unless [0 <= n <= length t]. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b

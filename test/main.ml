@@ -7,6 +7,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("ir", Test_ir.suite);
       ("verify", Test_verify.suite);
+      ("fault", Test_fault.suite);
       ("interp", Test_interp.suite);
       ("optimizer", Test_optimizer.suite);
       ("core-passes", Test_core_passes.suite);

@@ -1,0 +1,237 @@
+(* The fail-safe pipeline: fault injection, detection, rollback.
+
+   The contract under test (DESIGN.md, "Failure domains and recovery
+   contract"): every corruption class Nascent_ir.Mutate can inject is
+   (1) detected — by the inter-pass verifier for structural faults, by
+   the per-pass fuel budget for hangs; (2) rolled back — the function
+   is restored to its pre-pass state byte-for-byte; and (3) recovered —
+   compilation continues and the output still satisfies the interpreter
+   differential against the naive-checked original. *)
+
+open Util
+module Ir = Nascent_ir
+module Mutate = Ir.Mutate
+module Core = Nascent_core
+module Config = Core.Config
+module Optimizer = Core.Optimizer
+module Guard = Nascent_support.Guard
+module Run = Nascent_interp.Run
+module B = Nascent_benchmarks.Suite
+
+(* A scheme whose pipeline runs the pass the class targets (mirrors the
+   CLI's smoke matrix). *)
+let scheme_for = function
+  | Mutate.Drop_check | Mutate.Weaken_check -> Config.CS
+  | Mutate.Unsafe_insert -> Config.SE
+  | Mutate.Break_edge | Mutate.Hang_fixpoint -> Config.LLS
+
+let fault_config ?(scheme = Config.LLS) cls seed =
+  Config.make ~scheme ~fault:{ Mutate.cls; seed } ()
+
+(* --- rollback restores the pre-pass IR byte-for-byte ------------------- *)
+
+(* Transform.restore_func is the rollback primitive: after arbitrary
+   mutation of the function (here: a full optimizer run, the heaviest
+   mutator in the tree), restoring from the snapshot must reproduce the
+   original printing exactly. *)
+let test_restore_func_byte_for_byte () =
+  List.iter
+    (fun (b : B.benchmark) ->
+      let ir = ir_of_source b.B.source in
+      Ir.Program.iter_funcs
+        (fun f ->
+          let s0 = Ir.Printer.func_to_string f in
+          let before = Ir.Transform.copy_func f in
+          ignore (Optimizer.optimize_func (Config.make ()) f);
+          Ir.Transform.restore_func ~from_:before f;
+          Alcotest.(check string)
+            (b.B.name ^ "/" ^ f.Ir.Func.fname ^ ": restored byte-for-byte")
+            s0
+            (Ir.Printer.func_to_string f))
+        ir)
+    B.all
+
+(* Same, but through each mutation class itself: corrupt, restore,
+   compare. *)
+let test_restore_after_each_mutation () =
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun (b : B.benchmark) ->
+          let ir = ir_of_source b.B.source in
+          Ir.Program.iter_funcs
+            (fun f ->
+              let s0 = Ir.Printer.func_to_string f in
+              let before = Ir.Transform.copy_func f in
+              ignore (Mutate.apply ~seed:3 cls f : bool);
+              Ir.Transform.restore_func ~from_:before f;
+              Alcotest.(check string)
+                (Fmt.str "%s/%s after %s" b.B.name f.Ir.Func.fname
+                   (Mutate.cls_name cls))
+                s0
+                (Ir.Printer.func_to_string f))
+            ir)
+        B.all)
+    [ Mutate.Drop_check; Mutate.Weaken_check; Mutate.Break_edge; Mutate.Unsafe_insert ]
+
+(* --- the per-class matrix: caught, rolled back, recovered -------------- *)
+
+let expected_cause cls =
+  if Mutate.hangs cls then Optimizer.Budget_exhausted else Optimizer.Verifier_rejected
+
+let test_class_matrix () =
+  List.iter
+    (fun cls ->
+      let scheme = scheme_for cls in
+      let injected_somewhere = ref false in
+      List.iter
+        (fun (b : B.benchmark) ->
+          let ir = ir_of_source b.B.source in
+          let config = fault_config ~scheme cls 1 in
+          let opt, stats = Optimizer.optimize ~config ir in
+          let where = Fmt.str "%s under %a" b.B.name Config.pp config in
+          if stats.Optimizer.faults_injected > 0 then begin
+            injected_somewhere := true;
+            (* detected: the corruption drew at least one incident,
+               attributed to the targeted pass, with the right cause *)
+            (match stats.Optimizer.incidents with
+            | [] -> Alcotest.failf "%s: injected fault drew no incident" where
+            | is ->
+                Alcotest.(check bool)
+                  (where ^ ": incident names the targeted pass")
+                  true
+                  (List.exists
+                     (fun i ->
+                       i.Optimizer.inc_pass = Mutate.target_pass cls
+                       && i.Optimizer.inc_cause = expected_cause cls)
+                     is));
+            (* recovered: the output is valid IR... *)
+            (match Ir.Verify.program opt with
+            | [] -> ()
+            | vs ->
+                Alcotest.failf "%s: recovered program invalid: %a" where
+                  (Fmt.list Ir.Verify.pp_violation) vs);
+            (* ...and behaviourally indistinguishable from naive *)
+            let o0 = Run.run ir and o = Run.run opt in
+            Alcotest.(check bool)
+              (where ^ ": same printed output")
+              true
+              (o.Run.printed = o0.Run.printed);
+            Alcotest.(check bool)
+              (where ^ ": same trap behaviour")
+              true
+              ((o.Run.trap = None) = (o0.Run.trap = None))
+          end
+          else
+            (* fault-free cells must be incident-free *)
+            Alcotest.(check int) (where ^ ": no incident without a fault") 0
+              (List.length stats.Optimizer.incidents))
+        B.all;
+      Alcotest.(check bool)
+        (Mutate.cls_name cls ^ " applied to at least one benchmark (not vacuous)")
+        true !injected_somewhere)
+    Mutate.all_classes
+
+(* --- hang: fuel watchdog, degradation stays safe ----------------------- *)
+
+(* A hung eliminate under plain NI: the fuel budget cuts it off, the
+   rollback leaves the naive checks in place, and the result still runs
+   clean — the "degrade to the NI floor" end of the contract. *)
+let test_hang_degrades_to_safe () =
+  let b = List.hd B.all in
+  let ir = ir_of_source b.B.source in
+  let config = fault_config ~scheme:Config.NI Mutate.Hang_fixpoint 1 in
+  let opt, stats = Optimizer.optimize ~config ir in
+  Alcotest.(check bool) "hang triggered" true (stats.Optimizer.faults_injected > 0);
+  Alcotest.(check bool) "fuel incident recorded" true
+    (List.exists
+       (fun i -> i.Optimizer.inc_cause = Optimizer.Budget_exhausted)
+       stats.Optimizer.incidents);
+  (* no elimination happened in the rolled-back pass *)
+  Alcotest.(check int) "rolled-back eliminate deleted nothing" 0
+    stats.Optimizer.redundant_deleted;
+  let o = Run.run opt in
+  check_no_trap o;
+  (* every naive check survived the failed optimization *)
+  let o0 = Run.run ir in
+  Alcotest.(check int) "dynamic checks at the NI floor or above" o0.Run.checks
+    (max o.Run.checks o0.Run.checks)
+
+(* Guard fuel in isolation: deterministic exhaustion point. *)
+let test_fuel_deterministic () =
+  let burn budget =
+    let fu = Guard.fuel ~what:"t" ~budget in
+    let n = ref 0 in
+    (try
+       Guard.with_fuel fu (fun () ->
+           while true do
+             Guard.tick_ambient ();
+             incr n
+           done)
+     with Guard.Fuel_exhausted _ -> ());
+    !n
+  in
+  (* the budget-th tick raises, so budget - 1 iterations complete *)
+  Alcotest.(check int) "exhausts exactly at budget" 99 (burn 100);
+  Alcotest.(check int) "replays identically" (burn 50) (burn 50)
+
+(* --- incident accounting ----------------------------------------------- *)
+
+let test_stats_json_reports_incidents () =
+  let b = List.hd B.all in
+  let ir = ir_of_source b.B.source in
+  let _, stats =
+    Optimizer.optimize ~config:(fault_config ~scheme:Config.CS Mutate.Drop_check 1) ir
+  in
+  Alcotest.(check bool) "fault applied" true (stats.Optimizer.faults_injected > 0);
+  let json = Optimizer.stats_to_json stats in
+  let has needle =
+    let rec find i =
+      if i + String.length needle > String.length json then false
+      else String.sub json i (String.length needle) = needle || find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "json has incidents array" true (has "\"incidents\": [");
+  Alcotest.(check bool) "json records the cause" true (has "\"cause\": \"verifier\"");
+  Alcotest.(check bool) "json records the fault axis" true
+    (has "\"fault\": \"drop-check:1\"");
+  Alcotest.(check bool) "json counts injections" true (has "\"faults_injected\": ")
+
+(* --- qcheck: random seeded faults never escape -------------------------- *)
+
+(* For any (benchmark, class, seed, scheme): if the fault applied, it
+   must draw an incident; applied or not, the output must be valid IR
+   and print what the naive program prints. *)
+let prop_faults_never_escape =
+  QCheck.Test.make ~name:"random seeded faults never escape" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         quad
+           (int_bound (List.length B.all - 1))
+           (int_bound (List.length Mutate.all_classes - 1))
+           (int_bound 9999)
+           (int_bound (List.length Config.extended_schemes - 1))))
+    (fun (bi, ci, seed, si) ->
+      let b = List.nth B.all bi in
+      let cls = List.nth Mutate.all_classes ci in
+      let scheme = List.nth Config.extended_schemes si in
+      let ir = ir_of_source b.B.source in
+      let opt, stats = Optimizer.optimize ~config:(fault_config ~scheme cls seed) ir in
+      let detected =
+        stats.Optimizer.faults_injected = 0 || stats.Optimizer.incidents <> []
+      in
+      detected
+      && Ir.Verify.program opt = []
+      && (Run.run opt).Run.printed = (Run.run ir).Run.printed)
+
+let suite =
+  [
+    tc "restore_func round-trips the optimizer" test_restore_func_byte_for_byte;
+    tc "restore_func round-trips each mutation" test_restore_after_each_mutation;
+    tc "every fault class caught and recovered" test_class_matrix;
+    tc "hang degrades to the safe NI floor" test_hang_degrades_to_safe;
+    tc "fuel exhaustion is deterministic" test_fuel_deterministic;
+    tc "stats json reports incidents" test_stats_json_reports_incidents;
+    QCheck_alcotest.to_alcotest prop_faults_never_escape;
+  ]

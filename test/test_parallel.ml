@@ -116,6 +116,57 @@ let test_memo_disk_roundtrip () =
   Alcotest.(check int) "recomputes after clear_disk" 8
     (Memo.find_or_compute m3 ~key:k (fun () -> 8))
 
+(* A corrupt or truncated disk entry must degrade to a recompute (miss)
+   and be moved aside to <dir>/quarantine/, never crash the lookup. *)
+let test_memo_corrupt_entry_quarantined () =
+  let dir = Filename.temp_dir "nascent-memo" "" in
+  let k = Memo.key [ "cell" ] in
+  let m1 : int Memo.t = Memo.create ~disk_dir:dir ~name:"t-corrupt" () in
+  Alcotest.(check int) "computed once" 9 (Memo.find_or_compute m1 ~key:k (fun () -> 9));
+  let entry = Filename.concat (Filename.concat dir "t-corrupt") k in
+  Alcotest.(check bool) "entry persisted" true (Sys.file_exists entry);
+  (* flip bits: valid magic, torn payload *)
+  let contents = In_channel.with_open_bin entry In_channel.input_all in
+  Out_channel.with_open_bin entry (fun oc ->
+      output_string oc (String.sub contents 0 (String.length contents - 3));
+      output_string oc "???");
+  let m2 : int Memo.t = Memo.create ~disk_dir:dir ~name:"t-corrupt" () in
+  Alcotest.(check int) "recomputed, not crashed" 10
+    (Memo.find_or_compute m2 ~key:k (fun () -> 10));
+  let s = Memo.stats m2 in
+  Alcotest.(check int) "counted as miss" 1 s.Memo.misses;
+  Alcotest.(check int) "counted as quarantined" 1 s.Memo.quarantined;
+  Alcotest.(check int) "not a disk hit" 0 s.Memo.disk_hits;
+  Alcotest.(check bool) "moved to quarantine/" true
+    (Sys.file_exists (Filename.concat (Filename.concat dir "quarantine") ("t-corrupt." ^ k)));
+  (* the recompute re-persisted a good entry: next memo disk-hits *)
+  let m3 : int Memo.t = Memo.create ~disk_dir:dir ~name:"t-corrupt" () in
+  Alcotest.(check int) "healed entry served from disk" 10
+    (Memo.find_or_compute m3 ~key:k (fun () -> Alcotest.fail "recomputed healed entry"));
+  Alcotest.(check int) "disk hit after heal" 1 (Memo.stats m3).Memo.disk_hits
+
+let test_memo_truncated_and_garbage_entries () =
+  let dir = Filename.temp_dir "nascent-memo" "" in
+  let m : int Memo.t = Memo.create ~disk_dir:dir ~name:"t-garbage" () in
+  let write key bytes =
+    let d = Filename.concat dir "t-garbage" in
+    if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+    Out_channel.with_open_bin (Filename.concat d key) (fun oc -> output_string oc bytes)
+  in
+  (* hand-written hostile entries: empty, short, foreign magic, v1-era *)
+  List.iteri
+    (fun i bytes ->
+      let k = Memo.key [ "g"; string_of_int i ] in
+      write k bytes;
+      Alcotest.(check int)
+        (Printf.sprintf "garbage entry %d degrades to recompute" i)
+        i
+        (Memo.find_or_compute m ~key:k (fun () -> i)))
+    [ ""; "NASC"; "totally unrelated bytes"; "NASCENT-MEMO.v1\nstale-format" ];
+  let s = Memo.stats m in
+  Alcotest.(check int) "all four quarantined" 4 s.Memo.quarantined;
+  Alcotest.(check int) "all four missed" 4 s.Memo.misses
+
 let test_config_cache_key_covers_verify () =
   let base = Config.make ~scheme:Config.LLS () in
   Alcotest.(check bool) "verify is part of the key" true
@@ -123,7 +174,13 @@ let test_config_cache_key_covers_verify () =
     <> Config.cache_key { base with Config.verify = false });
   Alcotest.(check bool) "kind is part of the key" true
     (Config.cache_key (Config.make ~scheme:Config.LLS ~kind:Config.PRX ())
-    <> Config.cache_key (Config.make ~scheme:Config.LLS ~kind:Config.INX ()))
+    <> Config.cache_key (Config.make ~scheme:Config.LLS ~kind:Config.INX ()));
+  Alcotest.(check bool) "fault is part of the key" true
+    (Config.cache_key (Config.make ())
+    <> Config.cache_key
+         (Config.make
+            ~fault:{ Nascent_ir.Mutate.cls = Nascent_ir.Mutate.Drop_check; seed = 1 }
+            ()))
 
 (* --- the determinism contract of the table harness --------------------- *)
 
@@ -134,7 +191,8 @@ let structural_row (r : E.row) =
     Config.cache_key r.E.config,
     List.map
       (fun (c : E.cell) ->
-        (c.E.dyn_checks_after, c.E.pct_eliminated, List.map fst c.E.pass_times))
+        (c.E.dyn_checks_after, c.E.pct_eliminated, List.map fst c.E.pass_times,
+         c.E.incidents))
       r.E.cells )
 
 let structural tables =
@@ -178,6 +236,8 @@ let suite =
     Util.tc "memo hit/miss counters" test_memo_hit_miss;
     Util.tc "memo key injective on structure" test_memo_key_injective_on_structure;
     Util.tc "memo disk roundtrip" test_memo_disk_roundtrip;
+    Util.tc "memo corrupt entry quarantined" test_memo_corrupt_entry_quarantined;
+    Util.tc "memo truncated/garbage entries" test_memo_truncated_and_garbage_entries;
     Util.tc "config cache key covers verify" test_config_cache_key_covers_verify;
     Util.tc "tables deterministic across jobs" test_tables_deterministic_across_jobs;
   ]

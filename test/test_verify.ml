@@ -2,8 +2,9 @@
 
    Acceptance: the verifier, wired between optimizer passes via
    [Config.verify], accepts every (benchmark x scheme x check kind x
-   implication mode) optimized output — the optimizer raises
-   [Verify.Invalid_ir] otherwise, so a clean sweep is the proof.
+   implication mode) optimized output — a rejection rolls the pass
+   back and records an incident, so a clean sweep is zero incidents
+   across the whole matrix.
    Rejection: seeded corruption of each invariant class (broken CFG,
    malformed check, stale loop metadata, unsafe insertion) must be
    reported. *)
@@ -41,7 +42,17 @@ let test_matrix_accepted () =
               List.iter
                 (fun impl ->
                   let config = Config.make ~scheme ~kind ~impl ~verify:true () in
-                  let opt, _ = Core.Optimizer.optimize ~config ir in
+                  let opt, stats = Core.Optimizer.optimize ~config ir in
+                  (* a verifier rejection no longer raises: it rolls
+                     the pass back and records an incident, so a clean
+                     sweep now means ZERO incidents *)
+                  (match stats.Core.Optimizer.incidents with
+                  | [] -> ()
+                  | is ->
+                      Alcotest.failf "%s under %a: %d pass(es) rolled back: %a"
+                        b.B.name Config.pp config (List.length is)
+                        (Fmt.list Core.Optimizer.pp_incident)
+                        is);
                   match Verify.program opt with
                   | [] -> ()
                   | vs ->

@@ -1,8 +1,12 @@
 #!/bin/sh
-# One-command CI gate (the @ci alias): build + tests + verifier sweep,
-# then the evaluation tables on a 2-domain pool (NASCENT_JOBS=2) with
-# the serial-vs-parallel-vs-warm-cache determinism check — the gate
-# fails if pool size or caching changes a single table cell.
+# One-command CI gate (the @ci alias): build + tests + verifier sweep
+# (zero incidents), the fault-injection smoke matrix (`nascentc verify
+# --inject-fault smoke`: every mutation class must be detected, rolled
+# back and behaviour-preserving; a fault-free cell reporting an
+# incident also fails), then the evaluation tables on a 2-domain pool
+# (NASCENT_JOBS=2) with the serial-vs-parallel-vs-warm-cache
+# determinism check — the gate fails if pool size or caching changes a
+# single table cell.
 set -eu
 cd "$(dirname "$0")/.."
 exec dune build @ci
