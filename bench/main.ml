@@ -15,6 +15,7 @@
      dune exec bench/main.exe -- tables     # tables only, no Bechamel (CI mode)
      dune exec bench/main.exe -- check-determinism  # serial vs parallel vs warm cache
      dune exec bench/main.exe -- speedup    # serial vs parallel wall-clock, JSON record
+     dune exec bench/main.exe -- service    # warm-daemon latency vs cold nascentc startup
 *)
 
 module E = Nascent_harness.Experiments
@@ -205,6 +206,108 @@ let run_speedup () =
   Nascent_support.Guard.write_atomic ~path:speedup_json_path json;
   Printf.printf "wrote %s\n%!" speedup_json_path
 
+(* --- service: warm-daemon latency vs cold CLI startup ------------------ *)
+
+let service_json_path = "BENCH_service.json"
+
+(* The case for compile-as-a-service, quantified: per-request latency
+   against a warm daemon (socket round-trip + cache hit) vs a cold
+   nascentc process per compile (exec + runtime init + lower +
+   optimize). The daemon runs in-process on a thread — same code path
+   as nascentd — and the cold runs exec the real binary. *)
+let run_service () =
+  let module Server = Nascent_support.Server in
+  let module Service = Nascent_harness.Service in
+  let module Json = Nascent_support.Json in
+  let module Client = Nascent_support.Server.Client in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nascent-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cfg = { (Server.default_config ~socket_path:path) with Server.jobs = 2 } in
+  let srv = Server.create cfg (Service.handler (Service.create ())) in
+  let runner = Thread.create (fun () -> Server.run srv) () in
+  let rec wait n =
+    if n = 0 then failwith "bench service: daemon socket never appeared"
+    else if not (Sys.file_exists path) then begin
+      Unix.sleepf 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  let req =
+    Json.Obj
+      [
+        ("op", Json.Str "compile");
+        ("benchmark", Json.Str "vortex");
+        ("scheme", Json.Str "LLS");
+      ]
+  in
+  let warm_n = 50 in
+  let warm =
+    Client.with_conn path (fun conn ->
+        let once () =
+          let t0 = Mclock.counter () in
+          (match Client.request conn req with
+          | Ok _ -> ()
+          | Error e -> failwith ("bench service: warm request failed: " ^ e));
+          Mclock.elapsed_s t0
+        in
+        ignore (once ()) (* populate the result cache *);
+        List.init warm_n (fun _ -> once ()))
+  in
+  Server.stop srv;
+  Thread.join runner;
+  (* Cold baseline: one full nascentc process per compile. The binary
+     lives next to this one in _build/default. *)
+  let nascentc =
+    Filename.concat
+      (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+      "nascentc.exe"
+  in
+  let cold_n = 5 in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+  let cold =
+    List.init cold_n (fun _ ->
+        let t0 = Mclock.counter () in
+        let pid =
+          Unix.create_process nascentc
+            [| nascentc; "dump"; "vortex"; "-s"; "LLS" |]
+            Unix.stdin devnull devnull
+        in
+        (match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _ -> failwith "bench service: cold nascentc run failed");
+        Mclock.elapsed_s t0)
+  in
+  Unix.close devnull;
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let minimum xs = List.fold_left Float.min infinity xs in
+  let warm_mean = mean warm and warm_min = minimum warm in
+  let cold_mean = mean cold and cold_min = minimum cold in
+  Printf.printf
+    "\nservice latency (vortex, LLS): warm daemon %.3f ms/request (min %.3f, %d \
+     requests), cold nascentc %.1f ms/compile (min %.1f, %d runs) — %.0fx\n\
+     %!"
+    (1000.0 *. warm_mean) (1000.0 *. warm_min) warm_n (1000.0 *. cold_mean)
+    (1000.0 *. cold_min) cold_n (cold_mean /. warm_mean);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"request\": \"compile vortex LLS\",\n\
+      \  \"warm_requests\": %d,\n\
+      \  \"warm_mean_s\": %.6f,\n\
+      \  \"warm_min_s\": %.6f,\n\
+      \  \"cold_runs\": %d,\n\
+      \  \"cold_mean_s\": %.6f,\n\
+      \  \"cold_min_s\": %.6f,\n\
+      \  \"warm_over_cold_speedup\": %.4f\n\
+       }\n"
+      warm_n warm_mean warm_min cold_n cold_mean cold_min (cold_mean /. warm_mean)
+  in
+  Nascent_support.Guard.write_atomic ~path:service_json_path json;
+  Printf.printf "wrote %s\n%!" service_json_path
+
 (* --- Bechamel: one Test.make per table ------------------------------- *)
 
 let bech_tests () =
@@ -299,6 +402,7 @@ let () =
     | "tables" -> run_tables ()
     | "check-determinism" -> run_check_determinism ()
     | "speedup" -> run_speedup ()
+    | "service" -> run_service ()
     | "bech" -> run_bech ()
     | "all" ->
         run_tables ();

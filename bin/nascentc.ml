@@ -7,6 +7,7 @@
      stats FILE        compare all placement schemes on one program
      verify [FILE]     IR invariant verification across the config matrix
      bench NAME        run a built-in benchmark program by name
+     client [FILE]     send one request to a running nascentd service
 
    The optimizing commands accept --verify BOOL (IR verification
    between passes, default on), --trace (per-pass logging),
@@ -18,7 +19,11 @@
    program trapped or errored; 3 the verifier rejected the lowered
    input (nothing to roll back to); 4 compiled successfully but
    degraded — at least one optimizer pass faulted and was rolled back
-   (see the incident records in --stats-json / stderr).
+   (see the incident records in --stats-json / stderr); 5 interrupted
+   by SIGINT/SIGTERM (distinct so batch drivers can tell cancellation
+   from failure); 6 the service answered deadline-exceeded; 7 the
+   client exhausted its retries against an unreachable or shedding
+   service.
 *)
 
 module Ir = Nascent_ir
@@ -28,7 +33,28 @@ module Universe = Nascent_checks.Universe
 module Run = Nascent_interp.Run
 module Frontend = Nascent_frontend.Frontend
 module B = Nascent_benchmarks.Suite
+module Json = Nascent_support.Json
+module Client = Nascent_support.Server.Client
+module Retry = Nascent_support.Retry
 open Cmdliner
+
+(* Batch runs die on SIGINT/SIGTERM with a distinct exit code, so a
+   driver script can tell "cancelled" from "failed". Exit runs the
+   at_exit chain, so atomically-written outputs are never torn. *)
+let exit_interrupted = 5
+
+let install_signal_exit () =
+  let handle name =
+    Sys.Signal_handle
+      (fun _ ->
+        Fmt.epr "nascentc: interrupted (%s)@." name;
+        Stdlib.exit exit_interrupted)
+  in
+  List.iter
+    (fun (signal, name) ->
+      try Sys.set_signal signal (handle name)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ (Sys.sigint, "SIGINT"); (Sys.sigterm, "SIGTERM") ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -540,6 +566,172 @@ let cmd_verify =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(const run $ file_opt_arg $ fault_req_arg $ trace_arg $ jobs_arg)
 
+(* --- compile-service client -------------------------------------------- *)
+
+let default_socket () =
+  match Sys.getenv_opt "NASCENT_SOCKET" with
+  | Some s when String.trim s <> "" -> s
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "nascentd.sock"
+
+(* The wire names the service parses (Universe.mode_name is the
+   human/report spelling, not the protocol's). *)
+let impl_wire = function
+  | Universe.All_implications -> "all"
+  | Universe.No_implications -> "none"
+  | Universe.Cross_family_only -> "cross"
+
+let cmd_client =
+  let doc =
+    "Send one request to a running nascentd compile service and print its \
+     JSON response. Retries connection refusals and retryable errors \
+     (overload shedding, drain) with exponential backoff and deterministic \
+     jitter. Exit codes: 0 ok; 4 compiled degraded (incidents or breaker \
+     fallback); 2 the requested run trapped/errored or the service failed \
+     internally; 6 deadline exceeded; 7 retries exhausted; 1 bad request."
+  in
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "MiniF source file or built-in benchmark name to compile \
+             (required unless --status or --burn).")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string (default_socket ())
+      & info [ "connect" ] ~docv:"SOCK"
+          ~doc:
+            "Socket path of the nascentd instance. Defaults to \
+             $(b,NASCENT_SOCKET) or $(b,TMPDIR/nascentd.sock).")
+  in
+  let status_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "status" ]
+          ~doc:
+            "Ask for server status (uptime, queue, breaker states, \
+             counters) instead of compiling.")
+  in
+  let burn_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "burn" ]
+          ~doc:
+            "Send a deliberately non-terminating request (exercises the \
+             service's deadline path; expect exit 6).")
+  in
+  let run_flag_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "run" ]
+          ~doc:"Also execute the optimized program under the interpreter.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall-clock budget override; $(docv) <= 0 asks for \
+             an unbounded request. Omitted: the server's default applies.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Retry.default.Retry.max_attempts
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Total connection/retryable-error attempts, including the first.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Backoff jitter seed (deterministic per seed and attempt).")
+  in
+  let exit_of_response resp =
+    match Json.str_member "status" resp with
+    | Some "error" ->
+        let code = Option.value ~default:"?" (Json.str_member "code" resp) in
+        Fmt.epr "nascentc: service error %s: %s@." code
+          (Option.value ~default:"" (Json.str_member "detail" resp));
+        if code = "deadline" then 6 else if code = "internal" then 2 else 1
+    | _ ->
+        (* ok / degraded / status — the response is on stdout either way *)
+        let run_failed =
+          match Json.member "run" resp with
+          | Some run ->
+              Json.str_member "trap" run <> None
+              || Json.str_member "error" run <> None
+          | None -> false
+        in
+        if run_failed then 2
+        else if Json.int_member "code" resp = Some 4 then 4
+        else 0
+  in
+  let run file socket status burn config want_run deadline_ms retries seed =
+    let req_fields =
+      if status then Some [ ("op", Json.Str "status") ]
+      else if burn then Some [ ("op", Json.Str "burn") ]
+      else
+        match file with
+        | None ->
+            Fmt.epr "nascentc: client needs FILE, --status or --burn@.";
+            None
+        | Some f ->
+            let program =
+              if Sys.file_exists f then ("source", Json.Str (read_file f))
+              else
+                match B.find f with
+                | Some _ -> ("benchmark", Json.Str f)
+                | None ->
+                    Fmt.epr "nascentc: no such file or built-in benchmark: %s@." f;
+                    exit 1
+            in
+            Some
+              ([
+                 ("op", Json.Str "compile");
+                 program;
+                 ("scheme", Json.Str (Config.scheme_name config.Config.scheme));
+                 ("kind", Json.Str (Config.kind_name config.Config.kind));
+                 ("impl", Json.Str (impl_wire config.Config.impl));
+                 ("verify", Json.Bool config.Config.verify);
+                 ("run", Json.Bool want_run);
+               ]
+              @
+              match config.Config.fault with
+              | None -> []
+              | Some spec -> [ ("fault", Json.Str (Ir.Mutate.spec_name spec)) ])
+    in
+    match req_fields with
+    | None -> 1
+    | Some fields ->
+        let deadline =
+          match deadline_ms with
+          | None -> []
+          | Some ms -> [ ("deadline_ms", Json.Int ms) ]
+        in
+        let req = Json.Obj ((("id", Json.Str "cli") :: fields) @ deadline) in
+        let policy = { Retry.default with Retry.max_attempts = max 1 retries } in
+        (match Client.request_retry ~policy ~seed socket req with
+        | Ok resp ->
+            Fmt.pr "%s@." (Json.to_string resp);
+            exit_of_response resp
+        | Error msg ->
+            Fmt.epr "nascentc: %s@." msg;
+            7)
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ file_opt_arg $ socket_arg $ status_arg $ burn_arg
+      $ config_term $ run_flag_arg $ deadline_arg $ retries_arg $ seed_arg)
+
 let cmd_list =
   let doc = "List the built-in benchmark programs." in
   let run () =
@@ -551,8 +743,10 @@ let cmd_list =
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 let () =
+  install_signal_exit ();
   let doc = "range-check optimizer for MiniF (Kolte & Wolfe, PLDI 1995)" in
   let info = Cmd.info "nascentc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ cmd_check; cmd_dump; cmd_run; cmd_stats; cmd_verify; cmd_list ]))
+       (Cmd.group info
+          [ cmd_check; cmd_dump; cmd_run; cmd_stats; cmd_verify; cmd_list; cmd_client ]))

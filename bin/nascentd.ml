@@ -1,0 +1,166 @@
+(* nascentd — the MiniF range-check optimizer as a long-running
+   service.
+
+   Listens on a Unix-domain socket for newline-delimited JSON requests
+   (see Nascent_support.Server for the envelope and
+   Nascent_harness.Service for the operations), fanning compiles over
+   worker domains behind a bounded admission queue, per-request
+   wall-clock deadlines, a per-scheme circuit breaker and a
+   content-addressed result cache.
+
+   SIGTERM / SIGINT request a graceful drain: the listener closes, new
+   requests are shed with a retryable "shutting-down" error, every
+   already-admitted request is finished and answered, then the daemon
+   exits 0. Talk to it with `nascentc client --connect SOCK ...`. *)
+
+module Server = Nascent_support.Server
+module Service = Nascent_harness.Service
+open Cmdliner
+
+let default_socket () =
+  match Sys.getenv_opt "NASCENT_SOCKET" with
+  | Some s when String.trim s <> "" -> s
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "nascentd.sock"
+
+let default_queue_depth () =
+  match Sys.getenv_opt "NASCENT_QUEUE_DEPTH" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 64)
+  | None -> 64
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (default_socket ())
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path to listen on (a stale socket file is \
+           replaced). Defaults to $(b,NASCENT_SOCKET) or \
+           $(b,TMPDIR/nascentd.sock).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains serving compile requests. Defaults to \
+           $(b,NASCENT_JOBS) or 2.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int (default_queue_depth ())
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:
+          "Admission bound: requests beyond $(docv) queued are shed with a \
+           retryable \"overloaded\" error instead of piling up. Defaults to \
+           $(b,NASCENT_QUEUE_DEPTH) or 64.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt int 30_000
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request wall-clock budget, measured from admission \
+           (queue wait counts); a request exceeding it is answered with a \
+           structured \"deadline\" error and its worker freed. Requests may \
+           override with their own \"deadline_ms\" field. $(docv) <= 0 \
+           disables the default.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 50_000_000
+    & info [ "request-fuel" ] ~docv:"N"
+        ~doc:
+          "Per-request optimizer fuel budget (deterministic backstop under \
+           the wall-clock deadline). $(docv) <= 0 disables it.")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "breaker-threshold" ] ~docv:"K"
+        ~doc:
+          "Trip a scheme's circuit breaker after $(docv) consecutive \
+           incident-bearing compiles; tripped schemes are served at the \
+           always-safe NI floor until a cooldown probe succeeds.")
+
+let cooldown_arg =
+  Arg.(
+    value
+    & opt int 2_000
+    & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+        ~doc:"Cooldown before a tripped breaker lets one probe through.")
+
+let trace_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "trace" ] ~doc:"Log server lifecycle events to stderr.")
+
+let run_daemon socket jobs queue_depth deadline_ms request_fuel threshold
+    cooldown_ms trace =
+  if trace then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let jobs =
+    match jobs with
+    | Some n -> max 1 n
+    | None -> (
+        match Sys.getenv_opt "NASCENT_JOBS" with
+        | Some s -> ( match int_of_string_opt (String.trim s) with
+                      | Some n when n > 0 -> n
+                      | _ -> 2)
+        | None -> 2)
+  in
+  let cfg =
+    {
+      Server.socket_path = socket;
+      jobs;
+      queue_depth = max 1 queue_depth;
+      default_deadline_s =
+        (if deadline_ms <= 0 then None
+         else Some (float_of_int deadline_ms /. 1000.0));
+      request_fuel = (if request_fuel <= 0 then None else Some request_fuel);
+    }
+  in
+  let service =
+    Service.create ~breaker_threshold:(max 1 threshold)
+      ~breaker_cooldown_s:(float_of_int (max 0 cooldown_ms) /. 1000.0)
+      ()
+  in
+  let server = Server.create cfg (Service.handler service) in
+  (* Graceful drain on either termination signal: stop is lock-free and
+     signal-safe; run returns once every admitted request is answered. *)
+  let on_signal _ = Server.stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  (* A client vanishing mid-response must not kill the daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Fmt.epr "nascentd: listening on %s (jobs=%d queue=%d deadline=%s fuel=%s)@."
+    socket jobs cfg.Server.queue_depth
+    (match cfg.Server.default_deadline_s with
+    | None -> "none"
+    | Some s -> Fmt.str "%gs" s)
+    (match cfg.Server.request_fuel with
+    | None -> "none"
+    | Some f -> string_of_int f);
+  Server.run server;
+  Fmt.epr "nascentd: drained, exiting@.";
+  0
+
+let () =
+  let doc = "range-check compile service (Kolte & Wolfe, PLDI 1995)" in
+  let info = Cmd.info "nascentd" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(
+      const run_daemon $ socket_arg $ jobs_arg $ queue_arg $ deadline_arg
+      $ fuel_arg $ threshold_arg $ cooldown_arg $ trace_arg)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,7 +1,7 @@
 (* Fault-containment primitives for the fail-safe pipeline.
 
-   Three small mechanisms, shared by the optimizer, the analyses and
-   the harness:
+   Four small mechanisms, shared by the optimizer, the analyses, the
+   harness and the compile server:
 
    - explicit fuel counters: a mutable iteration budget whose
      exhaustion raises [Fuel_exhausted] — the deterministic analogue of
@@ -11,11 +11,17 @@
      for the dynamic extent of a computation, and [tick_ambient]
      (called from fixpoint loops) charges every installed budget, so an
      outer watchdog (a pool task) bounds everything nested under it;
+   - ambient wall-clock deadlines: [with_deadline] rides the same
+     ticking — every [deadline_stride]-th ambient tick reads the
+     monotonic clock and raises [Deadline_exceeded] past the budget.
+     Fuel stays the deterministic bound; the deadline is the server's
+     latency contract layered on top of it;
    - atomic file writes (temp file + rename in the target directory),
      so an interrupted run never leaves a half-written JSON or cache
      entry behind. *)
 
 exception Fuel_exhausted of string
+exception Deadline_exceeded of string
 
 type fuel = { what : string; mutable remaining : int }
 
@@ -27,20 +33,57 @@ let tick f =
   f.remaining <- f.remaining - 1;
   if f.remaining <= 0 then raise (Fuel_exhausted f.what)
 
-(* The ambient stack is per-domain state: pool workers each carry their
-   own, so one task's budget never charges another's. *)
-let ambient : fuel list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+type deadline = { dwhat : string; started : Mclock.counter; budget_s : float }
+
+let deadline ~what ~seconds = { dwhat = what; started = Mclock.counter (); budget_s = seconds }
+
+let expired d = Mclock.elapsed_s d.started > d.budget_s
+
+let remaining_s d = Float.max 0.0 (d.budget_s -. Mclock.elapsed_s d.started)
+
+let check d = if expired d then raise (Deadline_exceeded d.dwhat)
+
+(* The ambient state is per-domain: pool workers each carry their own,
+   so one task's budget never charges another's. Deadlines are checked
+   only every [deadline_stride]-th tick — the clock read is ~25ns, the
+   stride keeps it off the fixpoint loops' critical path. *)
+type ambient_state = {
+  mutable fuels : fuel list;
+  mutable deadlines : deadline list;
+  mutable ticks : int;
+}
+
+let deadline_stride = 128 (* power of two: the throttle is a mask *)
+
+let ambient : ambient_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { fuels = []; deadlines = []; ticks = 0 })
 
 let with_fuel f body =
-  let stack = Domain.DLS.get ambient in
-  stack := f :: !stack;
-  Fun.protect ~finally:(fun () -> stack := List.tl !stack) body
+  let st = Domain.DLS.get ambient in
+  st.fuels <- f :: st.fuels;
+  Fun.protect ~finally:(fun () -> st.fuels <- List.tl st.fuels) body
 
-let tick_ambient () = List.iter tick !(Domain.DLS.get ambient)
+let with_deadline d body =
+  let st = Domain.DLS.get ambient in
+  st.deadlines <- d :: st.deadlines;
+  Fun.protect ~finally:(fun () -> st.deadlines <- List.tl st.deadlines) body
+
+let check_deadlines () = List.iter check (Domain.DLS.get ambient).deadlines
+
+let tick_ambient () =
+  let st = Domain.DLS.get ambient in
+  List.iter tick st.fuels;
+  match st.deadlines with
+  | [] -> ()
+  | ds ->
+      st.ticks <- st.ticks + 1;
+      if st.ticks land (deadline_stride - 1) = 0 then List.iter check ds
 
 let rec exhaust_ambient () =
-  match !(Domain.DLS.get ambient) with
-  | [] -> raise (Fuel_exhausted "exhaust_ambient: no ambient budget installed")
+  let st = Domain.DLS.get ambient in
+  match (st.fuels, st.deadlines) with
+  | [], [] ->
+      raise (Fuel_exhausted "exhaust_ambient: no ambient budget installed")
   | _ ->
       tick_ambient ();
       exhaust_ambient ()

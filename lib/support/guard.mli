@@ -13,6 +13,10 @@ exception Fuel_exhausted of string
 (** Raised by {!tick} when a budget runs out; the payload names the
     budget ([what]). *)
 
+exception Deadline_exceeded of string
+(** Raised by the ambient deadline check when a wall-clock budget runs
+    out; the payload names the deadline ([what]). *)
+
 type fuel
 
 val fuel : what:string -> budget:int -> fuel
@@ -22,6 +26,35 @@ val remaining : fuel -> int
 
 val tick : fuel -> unit
 (** Charge one tick. @raise Fuel_exhausted when the budget hits 0. *)
+
+(** {2 Wall-clock deadlines}
+
+    Fuel is deterministic but knows nothing about latency; a deadline
+    is the converse — the compile server's per-request wall-clock
+    budget, layered on the same ambient ticking. The monotonic clock is
+    read only every 128th {!tick_ambient} (and by {!check_deadlines}),
+    so ticking stays cheap on fixpoint hot paths. *)
+
+type deadline
+
+val deadline : what:string -> seconds:float -> deadline
+(** A wall-clock budget of [seconds], counting from the call (so a
+    deadline created at request admission also covers queue wait). *)
+
+val expired : deadline -> bool
+
+val remaining_s : deadline -> float
+(** Seconds left, clamped at [0.]. *)
+
+val with_deadline : deadline -> (unit -> 'a) -> 'a
+(** Install [deadline] for the dynamic extent of the thunk (nests like
+    {!with_fuel}); the ambient ticking of everything nested under it
+    raises {!Deadline_exceeded} once the budget is spent. *)
+
+val check_deadlines : unit -> unit
+(** Check every ambient deadline of the current domain right now,
+    without the 128-tick throttle.
+    @raise Deadline_exceeded if one has expired. *)
 
 (** {2 Ambient budgets}
 
@@ -35,15 +68,17 @@ val with_fuel : fuel -> (unit -> 'a) -> 'a
     budgets nest). The installation is per-domain. *)
 
 val tick_ambient : unit -> unit
-(** Charge every ambient budget of the current domain; no-op when none
-    is installed. @raise Fuel_exhausted from the innermost exhausted
-    budget. *)
+(** Charge every ambient budget of the current domain (and, every
+    128th tick, check its ambient deadlines); no-op when none is
+    installed. @raise Fuel_exhausted from the innermost exhausted
+    budget. @raise Deadline_exceeded past an ambient deadline. *)
 
 val exhaust_ambient : unit -> 'a
 (** Spin on {!tick_ambient} until a budget runs out — the fault
     injector's deterministic stand-in for a hung fixpoint.
-    @raise Fuel_exhausted always (immediately when no budget is
-    installed). *)
+    @raise Fuel_exhausted always (immediately when no fuel budget or
+    deadline is installed). @raise Deadline_exceeded when an ambient
+    deadline fires first. *)
 
 (** {2 Atomic writes} *)
 

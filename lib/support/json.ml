@@ -1,0 +1,320 @@
+(* Minimal JSON for the compile-service wire protocol (one value per
+   line, RFC 8259 subset). The tree deliberately has no JSON library;
+   the optimizer's stats records hand-roll their output, but the server
+   must PARSE untrusted request lines, and parsing is where hand-rolled
+   code grows holes — so the protocol gets a real recursive-descent
+   parser with a depth bound, full string escapes, and precise error
+   positions, and every caller shares it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string (* byte offset, message *)
+
+(* Nesting bound: a hostile request of 100k '[' characters must produce
+   an error response, not a stack overflow in a worker domain. *)
+let max_depth = 512
+
+(* --- parsing ----------------------------------------------------------- *)
+
+type cursor = { s : string; mutable i : int }
+
+let fail c msg = raise (Parse_error (c.i, msg))
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    v
+  end
+  else fail c ("expected " ^ word)
+
+let hex_digit c =
+  match peek c with
+  | Some ch ->
+      c.i <- c.i + 1;
+      (match ch with
+      | '0' .. '9' -> Char.code ch - Char.code '0'
+      | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+      | _ -> fail c "bad hex digit in \\u escape")
+  | None -> fail c "truncated \\u escape"
+
+let hex4 c =
+  let a = hex_digit c in
+  let b = hex_digit c in
+  let d = hex_digit c in
+  let e = hex_digit c in
+  (a lsl 12) lor (b lsl 8) lor (d lsl 4) lor e
+
+(* Encode one Unicode scalar value as UTF-8. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.i <- c.i + 1
+    | Some '\\' -> (
+        c.i <- c.i + 1;
+        match peek c with
+        | None -> fail c "truncated escape"
+        | Some e ->
+            c.i <- c.i + 1;
+            (match e with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                let u = hex4 c in
+                if u >= 0xD800 && u <= 0xDBFF then begin
+                  (* high surrogate: a \uXXXX low surrogate must follow *)
+                  expect c '\\';
+                  expect c 'u';
+                  let lo = hex4 c in
+                  if lo < 0xDC00 || lo > 0xDFFF then fail c "unpaired surrogate"
+                  else
+                    add_utf8 buf
+                      (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else if u >= 0xDC00 && u <= 0xDFFF then fail c "unpaired surrogate"
+                else add_utf8 buf u
+            | _ -> fail c "bad escape");
+            go ())
+    | Some ch when Char.code ch < 0x20 -> fail c "raw control byte in string"
+    | Some ch ->
+        c.i <- c.i + 1;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.i in
+  let is_float = ref false in
+  let adv () = c.i <- c.i + 1 in
+  if peek c = Some '-' then adv ();
+  while (match peek c with Some '0' .. '9' -> true | _ -> false) do
+    adv ()
+  done;
+  if peek c = Some '.' then begin
+    is_float := true;
+    adv ();
+    while (match peek c with Some '0' .. '9' -> true | _ -> false) do
+      adv ()
+    done
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      adv ();
+      (match peek c with Some ('+' | '-') -> adv () | _ -> ());
+      while (match peek c with Some '0' .. '9' -> true | _ -> false) do
+        adv ()
+      done
+  | _ -> ());
+  let text = String.sub c.s start (c.i - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail c "malformed number"
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> (
+        (* out of int range: fall back to float *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail c "malformed number")
+
+let rec parse_value c ~depth =
+  if depth > max_depth then fail c "nesting too deep";
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+      c.i <- c.i + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.i <- c.i + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c ~depth:(depth + 1) in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.i <- c.i + 1;
+              members ()
+          | Some '}' -> c.i <- c.i + 1
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      c.i <- c.i + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.i <- c.i + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value c ~depth:(depth + 1) in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.i <- c.i + 1;
+              elements ()
+          | Some ']' -> c.i <- c.i + 1
+          | _ -> fail c "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character %C" ch)
+
+let parse s =
+  let c = { s; i = 0 } in
+  match
+    let v = parse_value c ~depth:0 in
+    skip_ws c;
+    if c.i <> String.length s then fail c "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (i, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" i msg)
+
+(* --- printing ---------------------------------------------------------- *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let rec print_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if not (Float.is_finite f) then
+        (* nan/inf are not JSON: degrade to null rather than emit garbage *)
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  | Str s -> escape_into buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          print_into buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_into buf k;
+          Buffer.add_char buf ':';
+          print_into buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  print_into buf v;
+  Buffer.contents buf
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let str_member k j = Option.bind (member k j) to_str
+let int_member k j = Option.bind (member k j) to_int
+let bool_member k j = Option.bind (member k j) to_bool
+let float_member k j = Option.bind (member k j) to_float

@@ -1,0 +1,42 @@
+(** Minimal JSON for the compile-service wire protocol.
+
+    One value per line: {!parse} accepts exactly one RFC 8259 value
+    (full string escapes including surrogate pairs, a nesting bound
+    against hostile input) and {!to_string} prints a single line with
+    no trailing newline. Numbers parse to [Int] when they are integral
+    and fit, [Float] otherwise; non-finite floats print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an
+    error. Never raises — malformed input, truncation, raw control
+    bytes in strings, unpaired surrogates and nesting beyond 512
+    levels all return [Error] with a byte offset. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (the wire format). *)
+
+(** {2 Accessors} — all total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option
+
+val to_float : t -> float option
+(** Accepts [Int] too (JSON does not distinguish). *)
+
+val str_member : string -> t -> string option
+val int_member : string -> t -> int option
+val bool_member : string -> t -> bool option
+val float_member : string -> t -> float option

@@ -16,6 +16,7 @@ type 'v t = {
   mutable misses : int;
   mutable quarantined : int;
   disk_dir : string option;
+  quarantine_max : int; (* cap on retained quarantine entries *)
 }
 
 let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
@@ -30,9 +31,24 @@ let disk_dir_from_env () =
       | Some ("1" | "true" | "on") -> Some default_disk_dir
       | _ -> None)
 
-let create ?disk_dir ~name () =
+let default_quarantine_max = 64
+
+let quarantine_max_from_env () =
+  match Sys.getenv_opt "NASCENT_QUARANTINE_MAX" with
+  | None -> default_quarantine_max
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> default_quarantine_max)
+
+let create ?disk_dir ?quarantine_max ~name () =
   let disk_dir =
     match disk_dir with Some d -> Some d | None -> disk_dir_from_env ()
+  in
+  let quarantine_max =
+    match quarantine_max with
+    | Some n -> max 0 n
+    | None -> quarantine_max_from_env ()
   in
   {
     name;
@@ -43,6 +59,7 @@ let create ?disk_dir ~name () =
     misses = 0;
     quarantined = 0;
     disk_dir;
+    quarantine_max;
   }
 
 (* --- disk store ------------------------------------------------------- *)
@@ -75,14 +92,41 @@ let entry_path t k dir = Filename.concat (Filename.concat dir t.name) k
 
 let quarantine_dir dir = Filename.concat dir "quarantine"
 
+(* The quarantine is a post-mortem buffer, not an archive: a flaky disk
+   (or a hostile writer) could otherwise corrupt entries forever and
+   grow it without bound. Keep the newest [quarantine_max] entries by
+   mtime (name as tie-break) and evict the rest, best-effort. *)
+let prune_quarantine qd ~max_entries =
+  match Sys.readdir qd with
+  | exception Sys_error _ -> ()
+  | entries ->
+      if Array.length entries > max_entries then begin
+        let dated =
+          Array.to_list entries
+          |> List.filter_map (fun e ->
+                 let p = Filename.concat qd e in
+                 match Unix.stat p with
+                 | st -> Some (st.Unix.st_mtime, e)
+                 | exception Unix.Unix_error _ -> None)
+          |> List.sort compare
+        in
+        let excess = List.length dated - max_entries in
+        List.iteri
+          (fun i (_, e) ->
+            if i < excess then
+              try Sys.remove (Filename.concat qd e) with Sys_error _ -> ())
+          dated
+      end
+
 (* Move a failed entry aside (best effort — a removal-racing reader or
-   a read-only tree just leaves it) and count it. *)
+   a read-only tree just leaves it), cap the quarantine, and count it. *)
 let quarantine t ~path ~key dir reason =
   let qd = quarantine_dir dir in
   (try
      mkdir_p qd;
      Sys.rename path (Filename.concat qd (t.name ^ "." ^ key))
    with Sys_error _ -> ());
+  prune_quarantine qd ~max_entries:t.quarantine_max;
   Mutex.lock t.lock;
   t.quarantined <- t.quarantined + 1;
   Mutex.unlock t.lock;

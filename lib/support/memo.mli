@@ -28,12 +28,18 @@ val key : string list -> string
 (** Digest a list of key components (order-sensitive, injective for
     component lists free of ['\000']). *)
 
-val create : ?disk_dir:string -> name:string -> unit -> 'v t
+val create : ?disk_dir:string -> ?quarantine_max:int -> name:string -> unit -> 'v t
 (** [create ~name ()] makes an in-memory memo. The disk store is
     enabled by [~disk_dir], or — when the argument is omitted — by the
     [NASCENT_CACHE_DIR] environment variable (a directory) or
     [NASCENT_CACHE=1] (the default [_build/.nascent-cache]). Entries
-    live under [<dir>/<name>/<key>]; [name] must be filename-safe. *)
+    live under [<dir>/<name>/<key>]; [name] must be filename-safe.
+
+    [?quarantine_max] caps the [<dir>/quarantine/] post-mortem buffer:
+    each quarantining prunes the directory to the newest
+    [quarantine_max] entries by mtime, so a flaky disk cannot grow it
+    unboundedly. Defaults to [NASCENT_QUARANTINE_MAX] or 64; [0] keeps
+    nothing. *)
 
 val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
 (** Return the cached value for [key], reading through to the disk

@@ -1,0 +1,59 @@
+(* Exponential backoff with deterministic jitter.
+
+   The client side of the server's admission control: a shed request
+   carries a retryable error, and the client backs off exponentially
+   before trying again. The jitter that de-synchronizes competing
+   clients is a pure function of (seed, attempt) — two runs with the
+   same seed sleep the same schedule, so backoff behaviour is
+   replayable in tests, while different seeds (different clients)
+   spread out. *)
+
+type policy = {
+  max_attempts : int; (* total tries, including the first *)
+  base_delay_s : float; (* delay before attempt 2 *)
+  multiplier : float; (* growth per attempt *)
+  max_delay_s : float; (* cap on the un-jittered delay *)
+  jitter : float; (* +/- fraction of the delay, in [0, 1] *)
+}
+
+let default =
+  { max_attempts = 5; base_delay_s = 0.05; multiplier = 2.0; max_delay_s = 1.0; jitter = 0.25 }
+
+(* Uniform-ish in [0, 1): the first 48 bits of an MD5 of (seed, n).
+   Cryptographic quality is irrelevant; determinism and spread are the
+   point. *)
+let unit_float ~seed n =
+  let d = Digest.string (Printf.sprintf "retry:%d:%d" seed n) in
+  let bits =
+    List.fold_left
+      (fun acc i -> (acc lsl 8) lor Char.code d.[i])
+      0 [ 0; 1; 2; 3; 4; 5 ]
+  in
+  float_of_int bits /. float_of_int (1 lsl 48)
+
+let delay_s p ~seed ~attempt =
+  if attempt < 1 then 0.0
+  else
+    let raw = p.base_delay_s *. (p.multiplier ** float_of_int (attempt - 1)) in
+    let capped = Float.min p.max_delay_s raw in
+    let j = Float.max 0.0 (Float.min 1.0 p.jitter) in
+    (* factor in [1 - j, 1 + j), deterministic per (seed, attempt) *)
+    let factor = 1.0 -. j +. (2.0 *. j *. unit_float ~seed attempt) in
+    Float.max 0.0 (capped *. factor)
+
+type 'a outcome = Ok_after of int * 'a | Gave_up of int * string
+
+let run ?(sleep = fun s -> if s > 0.0 then Unix.sleepf s) ?(policy = default) ~seed f =
+  let attempts = max 1 policy.max_attempts in
+  let rec go attempt =
+    match f ~attempt with
+    | Ok v -> Ok_after (attempt, v)
+    | Error (`Fatal msg) -> Gave_up (attempt, msg)
+    | Error (`Retryable msg) ->
+        if attempt >= attempts then Gave_up (attempt, msg)
+        else begin
+          sleep (delay_s policy ~seed ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 1

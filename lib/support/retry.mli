@@ -1,0 +1,39 @@
+(** Exponential backoff with deterministic jitter.
+
+    Used by [nascentc client] against the compile server's retryable
+    errors (overload shedding, shutdown drain) and connection refusals.
+    The jittered schedule is a pure function of [(seed, attempt)]:
+    replayable in tests, de-synchronized across clients with different
+    seeds. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, including the first *)
+  base_delay_s : float;  (** un-jittered delay before attempt 2 *)
+  multiplier : float;  (** exponential growth per attempt *)
+  max_delay_s : float;  (** cap on the un-jittered delay *)
+  jitter : float;  (** +/- fraction of each delay, clamped to [0, 1] *)
+}
+
+val default : policy
+(** 5 attempts, 50ms base, x2 growth, 1s cap, 25% jitter. *)
+
+val delay_s : policy -> seed:int -> attempt:int -> float
+(** Sleep before attempt [attempt + 1], after failed attempt
+    [attempt] (1-based). Deterministic: equal arguments, equal
+    delay. Always non-negative. *)
+
+type 'a outcome =
+  | Ok_after of int * 'a  (** succeeded on the given attempt *)
+  | Gave_up of int * string
+      (** last attempt number and its error — a fatal error
+          immediately, a retryable one after [max_attempts] tries *)
+
+val run :
+  ?sleep:(float -> unit) ->
+  ?policy:policy ->
+  seed:int ->
+  (attempt:int -> ('a, [ `Retryable of string | `Fatal of string ]) result) ->
+  'a outcome
+(** Run [f] until it succeeds, fails fatally, or exhausts the policy,
+    sleeping {!delay_s} between retryable failures. [?sleep] defaults
+    to [Unix.sleepf] and is injectable for tests. *)

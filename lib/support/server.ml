@@ -1,0 +1,494 @@
+(* Compile-as-a-service transport: a long-running Unix-domain-socket
+   server speaking newline-delimited JSON, robust by construction.
+
+   Layering: this module owns everything about *serving* — the socket,
+   connection reader threads, the bounded request queue (admission
+   control), worker domains with crash supervision, per-request
+   wall-clock deadlines layered on Guard fuel, drain-on-stop, and the
+   status counters. What a request *means* is the handler's business
+   (the compile handler lives in Nascent_harness.Service); the server
+   only understands the envelope: the "id" field it echoes back, the
+   "op":"status" request it answers itself so observability survives a
+   full queue, and the "deadline_ms" override.
+
+   Robustness contract (pinned by test/test_server.ml and the CI
+   smoke):
+   - admission control: once the queue holds [queue_depth] requests,
+     new ones are shed immediately with {"code":"overloaded",
+     "retryable":true} — the server degrades by refusing work, never by
+     wedging or growing without bound;
+   - per-request deadlines: a request carries its wall budget from
+     admission (queue wait included); a compile that outlives it is cut
+     off at the next ambient tick and answered with
+     {"code":"deadline"}, freeing the worker. Fuel exhaustion is
+     reported the same way — both are resource-bound responses;
+   - worker crash isolation: a handler exception answers that request
+     with {"code":"internal"} and the worker survives; anything that
+     escapes even that guard restarts the worker loop (counted in
+     [worker_restarts]) instead of silently losing a domain;
+   - graceful drain: [stop] (wired to SIGTERM/SIGINT by nascentd) stops
+     accepting, sheds NEW requests with {"code":"shutting-down",
+     "retryable":true}, finishes every admitted request, flushes
+     responses, then joins workers and readers — zero in-flight loss,
+     exit 0. *)
+
+type handler = {
+  handle : Json.t -> Json.t;
+      (* request object -> response object; the server adds "id" *)
+  status_extra : unit -> (string * Json.t) list;
+      (* appended to "op":"status" responses *)
+}
+
+type config = {
+  socket_path : string;
+  jobs : int; (* worker domains *)
+  queue_depth : int; (* admission bound on queued requests *)
+  default_deadline_s : float option; (* per-request wall budget *)
+  request_fuel : int option; (* per-request Guard fuel budget *)
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = 2;
+    queue_depth = 64;
+    default_deadline_s = Some 30.0;
+    request_fuel = Some 50_000_000;
+  }
+
+type counters = {
+  mutable served : int; (* requests answered by the handler *)
+  mutable shed : int; (* overload + drain rejections *)
+  mutable timeouts : int; (* deadline / fuel responses *)
+  mutable internal_errors : int; (* handler exceptions *)
+  mutable bad_requests : int; (* unparseable lines *)
+  mutable worker_restarts : int; (* escaped-exception supervisions *)
+  mutable connections : int; (* lifetime accepted connections *)
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t; (* one response line at a time *)
+  mutable alive : bool;
+}
+
+type job = {
+  jconn : conn;
+  jid : Json.t;
+  jreq : Json.t;
+  jdeadline : Guard.deadline option;
+}
+
+type t = {
+  cfg : config;
+  handler : handler;
+  queue : job Queue.t; (* guarded by [lock] *)
+  lock : Mutex.t; (* queue + counters + conns *)
+  nonempty : Condition.t;
+  drained : Condition.t; (* queue empty and nothing in flight *)
+  mutable inflight : int;
+  stopping : bool Atomic.t;
+  c : counters;
+  started : Mclock.counter;
+  stop_r : Unix.file_descr; (* self-pipe: stop() wakes the accept loop *)
+  stop_w : Unix.file_descr;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+}
+
+let create cfg handler =
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  {
+    cfg = { cfg with jobs = max 1 cfg.jobs; queue_depth = max 1 cfg.queue_depth };
+    handler;
+    queue = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    drained = Condition.create ();
+    inflight = 0;
+    stopping = Atomic.make false;
+    c =
+      {
+        served = 0;
+        shed = 0;
+        timeouts = 0;
+        internal_errors = 0;
+        bad_requests = 0;
+        worker_restarts = 0;
+        connections = 0;
+      };
+    started = Mclock.counter ();
+    stop_r;
+    stop_w;
+    conns = [];
+    readers = [];
+  }
+
+let uptime_s t = Mclock.elapsed_s t.started
+
+(* Callable from a signal handler: no locks, just a flag and a
+   self-pipe write to break the accept loop out of select(). *)
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    try ignore (Unix.write_substring t.stop_w "x" 0 1) with Unix.Unix_error _ -> ()
+
+let stopping t = Atomic.get t.stopping
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- responses --------------------------------------------------------- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+(* Best-effort response write: a client that hung up loses its answer,
+   nobody else does (EPIPE never escapes into a worker). *)
+let answer conn (json : Json.t) =
+  Mutex.lock conn.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wlock)
+    (fun () ->
+      if conn.alive then
+        try write_all conn.fd (Json.to_string json ^ "\n")
+        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+
+let error_response ~id ~code ?(retryable = false) detail =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.Str "error");
+      ("code", Json.Str code);
+      ("retryable", Json.Bool retryable);
+      ("detail", Json.Str detail);
+    ]
+
+let with_id ~id = function
+  | Json.Obj fields -> Json.Obj (("id", id) :: List.remove_assoc "id" fields)
+  | other -> Json.Obj [ ("id", id); ("result", other) ]
+
+let status_response t ~id =
+  let depth, inflight = locked t (fun () -> (Queue.length t.queue, t.inflight)) in
+  let c = t.c in
+  Json.Obj
+    ([
+       ("id", id);
+       ("status", Json.Str "ok");
+       ("uptime_s", Json.Float (uptime_s t));
+       ("jobs", Json.Int t.cfg.jobs);
+       ("queue_depth", Json.Int depth);
+       ("queue_capacity", Json.Int t.cfg.queue_depth);
+       ("inflight", Json.Int inflight);
+       ("draining", Json.Bool (stopping t));
+       ("served", Json.Int c.served);
+       ("shed", Json.Int c.shed);
+       ("timeouts", Json.Int c.timeouts);
+       ("internal_errors", Json.Int c.internal_errors);
+       ("bad_requests", Json.Int c.bad_requests);
+       ("worker_restarts", Json.Int c.worker_restarts);
+       ("connections", Json.Int c.connections);
+     ]
+    @ t.handler.status_extra ())
+
+(* --- workers ----------------------------------------------------------- *)
+
+let process t job =
+  let id = job.jid in
+  let response =
+    match job.jdeadline with
+    | Some d when Guard.expired d ->
+        (* expired while queued: don't burn a compile on a dead request *)
+        locked t (fun () -> t.c.timeouts <- t.c.timeouts + 1);
+        error_response ~id ~code:"deadline" "deadline exceeded while queued"
+    | deadline -> (
+        let body () = t.handler.handle job.jreq in
+        let body =
+          match t.cfg.request_fuel with
+          | Some budget ->
+              fun () -> Guard.with_fuel (Guard.fuel ~what:"request" ~budget) body
+          | None -> body
+        in
+        let body =
+          match deadline with
+          | Some d -> fun () -> Guard.with_deadline d body
+          | None -> body
+        in
+        match body () with
+        | resp ->
+            locked t (fun () -> t.c.served <- t.c.served + 1);
+            with_id ~id resp
+        | exception Guard.Deadline_exceeded what ->
+            locked t (fun () -> t.c.timeouts <- t.c.timeouts + 1);
+            error_response ~id ~code:"deadline" ("deadline exceeded: " ^ what)
+        | exception Guard.Fuel_exhausted what ->
+            locked t (fun () -> t.c.timeouts <- t.c.timeouts + 1);
+            error_response ~id ~code:"deadline" ("fuel exhausted: " ^ what)
+        | exception e ->
+            locked t (fun () -> t.c.internal_errors <- t.c.internal_errors + 1);
+            error_response ~id ~code:"internal" (Printexc.to_string e))
+  in
+  answer job.jconn response
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some j ->
+        t.inflight <- t.inflight + 1;
+        Mutex.unlock t.lock;
+        Some j
+    | None ->
+        if stopping t then begin
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.lock;
+          next ()
+        end
+  in
+  match next () with
+  | None -> ()
+  | Some job ->
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock t.lock;
+          t.inflight <- t.inflight - 1;
+          if t.inflight = 0 && Queue.is_empty t.queue then Condition.broadcast t.drained;
+          Mutex.unlock t.lock)
+        (fun () -> process t job);
+      worker_loop t
+
+(* Supervision: [process] already guards the handler, so nothing should
+   escape — but "should" is not a failure-domain boundary. If something
+   does (a write path bug, an allocation failure), the worker restarts
+   its loop instead of silently shrinking the pool. *)
+let rec worker_main t =
+  try worker_loop t
+  with _ ->
+    locked t (fun () -> t.c.worker_restarts <- t.c.worker_restarts + 1);
+    if not (stopping t) then worker_main t
+
+(* --- admission --------------------------------------------------------- *)
+
+let request_deadline t req =
+  let explicit =
+    match Json.float_member "deadline_ms" req with
+    | Some ms when ms > 0.0 -> Some (ms /. 1000.0)
+    | Some _ -> None (* deadline_ms <= 0: explicitly unbounded *)
+    | None -> t.cfg.default_deadline_s
+  in
+  Option.map (fun seconds -> Guard.deadline ~what:"request" ~seconds) explicit
+
+let enqueue t conn ~id req =
+  Mutex.lock t.lock;
+  if stopping t then begin
+    t.c.shed <- t.c.shed + 1;
+    Mutex.unlock t.lock;
+    answer conn
+      (error_response ~id ~code:"shutting-down" ~retryable:true
+         "server is draining; retry against a fresh instance")
+  end
+  else if Queue.length t.queue >= t.cfg.queue_depth then begin
+    t.c.shed <- t.c.shed + 1;
+    Mutex.unlock t.lock;
+    answer conn
+      (error_response ~id ~code:"overloaded" ~retryable:true
+         (Printf.sprintf "queue full (%d requests); back off and retry"
+            t.cfg.queue_depth))
+  end
+  else begin
+    (* the deadline clock starts at admission: queue wait counts *)
+    let job = { jconn = conn; jid = id; jreq = req; jdeadline = request_deadline t req } in
+    Queue.add job t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let handle_line t conn line =
+  if String.trim line = "" then ()
+  else
+    match Json.parse line with
+    | Error msg ->
+        locked t (fun () -> t.c.bad_requests <- t.c.bad_requests + 1);
+        answer conn (error_response ~id:Json.Null ~code:"bad-request" msg)
+    | Ok req -> (
+        let id = Option.value ~default:Json.Null (Json.member "id" req) in
+        match Json.str_member "op" req with
+        | Some "status" ->
+            (* answered inline by the reader thread: status must work
+               even when the queue is full and every worker is busy *)
+            answer conn (status_response t ~id)
+        | _ -> enqueue t conn ~id req)
+
+(* --- connections ------------------------------------------------------- *)
+
+let serve_conn t conn =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 256 in
+  let rec loop () =
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | exception (Unix.Unix_error _ | Sys_error _) -> ()
+    | 0 -> ()
+    | n ->
+        for i = 0 to n - 1 do
+          let ch = Bytes.get buf i in
+          if ch = '\n' then begin
+            let line = Buffer.contents acc in
+            Buffer.clear acc;
+            handle_line t conn line
+          end
+          else Buffer.add_char acc ch
+        done;
+        loop ()
+  in
+  loop ();
+  Mutex.lock conn.wlock;
+  conn.alive <- false;
+  Mutex.unlock conn.wlock
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let listen_socket path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+(* Serve until [stop]: accept loop in the calling thread, one reader
+   thread per connection, [cfg.jobs] worker domains. Returns after the
+   drain completes: queue empty, nothing in flight, every response
+   written, workers and readers joined, socket file removed. *)
+let run t =
+  let listen_fd = listen_socket t.cfg.socket_path in
+  let workers = List.init t.cfg.jobs (fun _ -> Domain.spawn (fun () -> worker_main t)) in
+  let rec accept_loop () =
+    if not (stopping t) then begin
+      (match Unix.select [ listen_fd; t.stop_r ] [] [] (-1.0) with
+      | rs, _, _ ->
+          if List.mem listen_fd rs && not (stopping t) then (
+            match Unix.accept ~cloexec:true listen_fd with
+            | cfd, _ ->
+                let conn = { fd = cfd; wlock = Mutex.create (); alive = true } in
+                let reader = Thread.create (fun () -> serve_conn t conn) () in
+                locked t (fun () ->
+                    t.c.connections <- t.c.connections + 1;
+                    t.conns <- conn :: t.conns;
+                    t.readers <- reader :: t.readers)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Drain: no new connections (the listener is closed first, so
+     connect() starts failing instead of queueing), reader threads shed
+     anything they read from now on (stopping is set), workers finish
+     every admitted request. *)
+  Unix.close listen_fd;
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  Mutex.lock t.lock;
+  Condition.broadcast t.nonempty;
+  while not (Queue.is_empty t.queue && t.inflight = 0) do
+    Condition.wait t.drained t.lock
+  done;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers;
+  (* Every response is on the wire: hang up and collect the readers. *)
+  let conns, readers = locked t (fun () -> (t.conns, t.readers)) in
+  List.iter
+    (fun conn ->
+      try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join readers;
+  List.iter (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) conns;
+  Unix.close t.stop_r;
+  Unix.close t.stop_w
+
+(* --- client helpers ---------------------------------------------------- *)
+
+(* Shared by nascentc client, the bench service target and the tests:
+   the one place that knows how to speak a request/response exchange,
+   including backoff against retryable errors. *)
+module Client = struct
+  type connection = { cfd : Unix.file_descr; racc : Buffer.t }
+
+  let connect path =
+    let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX path) with
+    | () -> { cfd = fd; racc = Buffer.create 256 }
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+
+  let close conn = try Unix.close conn.cfd with Unix.Unix_error _ -> ()
+
+  let with_conn path f =
+    let conn = connect path in
+    Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)
+
+  let send_line conn line = write_all conn.cfd (line ^ "\n")
+
+  (* Read one newline-terminated line, buffering any overshoot for the
+     next call. [None] on EOF before a complete line. *)
+  let recv_line conn =
+    let rec take_line () =
+      let s = Buffer.contents conn.racc in
+      match String.index_opt s '\n' with
+      | Some i ->
+          Buffer.clear conn.racc;
+          Buffer.add_string conn.racc
+            (String.sub s (i + 1) (String.length s - i - 1));
+          Some (String.sub s 0 i)
+      | None -> (
+          let buf = Bytes.create 4096 in
+          match Unix.read conn.cfd buf 0 (Bytes.length buf) with
+          | 0 -> None
+          | n ->
+              Buffer.add_subbytes conn.racc buf 0 n;
+              take_line ())
+    in
+    take_line ()
+
+  let request conn (req : Json.t) : (Json.t, string) result =
+    match
+      send_line conn (Json.to_string req);
+      recv_line conn
+    with
+    | Some line -> Json.parse line
+    | None -> Error "connection closed before a response arrived"
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+  (* One-shot request with exponential backoff + deterministic jitter:
+     retries connection refusals (daemon restarting) and responses the
+     server marks retryable (overload shedding, drain). *)
+  let request_retry ?(policy = Retry.default) ?sleep ~seed path (req : Json.t) :
+      (Json.t, string) result =
+    let attempt ~attempt:_ =
+      match with_conn path (fun conn -> request conn req) with
+      | Ok resp ->
+          if
+            Json.str_member "status" resp = Some "error"
+            && Json.bool_member "retryable" resp = Some true
+          then
+            Error
+              (`Retryable
+                (Option.value ~default:"retryable error"
+                   (Json.str_member "detail" resp)))
+          else Ok resp
+      | Error msg -> Error (`Fatal msg)
+      | exception
+          Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+        -> Error (`Retryable "cannot connect")
+      | exception Unix.Unix_error (e, _, _) -> Error (`Fatal (Unix.error_message e))
+    in
+    match Retry.run ?sleep ~policy ~seed attempt with
+    | Retry.Ok_after (_, resp) -> Ok resp
+    | Retry.Gave_up (n, msg) ->
+        Error (Printf.sprintf "gave up after %d attempt(s): %s" n msg)
+end

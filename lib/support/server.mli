@@ -1,0 +1,97 @@
+(** Compile-as-a-service transport: a Unix-domain-socket server
+    speaking newline-delimited JSON, robust by construction.
+
+    The server owns everything about {e serving}: the socket, one
+    reader thread per connection, a bounded request queue (admission
+    control), [jobs] worker domains with crash supervision, per-request
+    wall-clock deadlines layered on {!Guard} fuel, graceful drain, and
+    status counters. What a request {e means} is the {!handler}'s
+    business (the compile handler is [Nascent_harness.Service]); the
+    server understands only the envelope:
+
+    - ["id"]: echoed verbatim into the response;
+    - ["op": "status"]: answered inline by the reader thread, so
+      observability survives a full queue and busy workers;
+    - ["deadline_ms"]: per-request wall budget override ([<= 0] means
+      unbounded); the clock starts at admission, so queue wait counts.
+
+    Server-generated responses: [{"code": "overloaded",
+    "retryable": true}] (queue full), [{"code": "shutting-down",
+    "retryable": true}] (draining), [{"code": "deadline"}] (wall budget
+    or fuel exhausted — the worker is freed either way),
+    [{"code": "internal"}] (handler exception; the worker survives),
+    [{"code": "bad-request"}] (unparseable line). *)
+
+type handler = {
+  handle : Json.t -> Json.t;
+      (** request object -> response object; must not block forever
+          between ambient ticks (optimizer fixpoints tick). The server
+          adds ["id"]. Exceptions become ["internal"] responses. *)
+  status_extra : unit -> (string * Json.t) list;
+      (** extra fields appended to ["op": "status"] responses (breaker
+          states, cache counters, ...). Called from reader threads:
+          must be thread-safe and fast. *)
+}
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains (clamped to >= 1) *)
+  queue_depth : int;  (** admission bound on queued requests *)
+  default_deadline_s : float option;  (** default per-request budget *)
+  request_fuel : int option;  (** per-request {!Guard} fuel budget *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 jobs, depth 64, 30s deadline, 50M fuel. *)
+
+type t
+
+val create : config -> handler -> t
+
+val run : t -> unit
+(** Serve until {!stop}: binds (replacing any stale socket file),
+    accepts in the calling thread, then drains — sheds new work,
+    finishes and answers {e every} admitted request, joins workers and
+    readers, removes the socket file. *)
+
+val stop : t -> unit
+(** Request a graceful drain. Lock-free (a flag and a self-pipe
+    write): safe to call from a signal handler or any thread.
+    Idempotent. *)
+
+val stopping : t -> bool
+val uptime_s : t -> float
+
+(** Client side of the protocol — shared by [nascentc client], the
+    bench service target and the tests. *)
+module Client : sig
+  type connection
+
+  val connect : string -> connection
+  (** Connect to a socket path. Raises [Unix.Unix_error] as
+      [Unix.connect] does. *)
+
+  val close : connection -> unit
+
+  val with_conn : string -> (connection -> 'a) -> 'a
+
+  val send_line : connection -> string -> unit
+
+  val recv_line : connection -> string option
+  (** One newline-terminated line ([None] on EOF); overshoot is
+      buffered for the next call. *)
+
+  val request : connection -> Json.t -> (Json.t, string) result
+  (** One request/response exchange on an open connection. *)
+
+  val request_retry :
+    ?policy:Retry.policy ->
+    ?sleep:(float -> unit) ->
+    seed:int ->
+    string ->
+    Json.t ->
+    (Json.t, string) result
+  (** One-shot exchange on a fresh connection, with {!Retry} backoff
+      (deterministic jitter from [seed]) against connection refusals
+      and responses marked [retryable]. *)
+end

@@ -17,4 +17,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
       ("harness", Test_harness.suite);
+      ("server", Test_server.suite);
     ]

@@ -225,6 +225,90 @@ let test_tables_deterministic_across_jobs () =
   Alcotest.(check int) "zero re-optimizations on warm cache" 0 (after - before);
   Alcotest.(check bool) "warm rerun byte-identical" true (warm = parallel)
 
+(* --- task_fuel watchdog on the serial path ----------------------------- *)
+
+(* jobs=1 degrades to plain List.map, but the per-task watchdog must
+   still be installed there: a pathological task has to fail with
+   Fuel_exhausted on every pool size, not only when a worker domain
+   runs it. *)
+let test_task_fuel_serial_path () =
+  with_pool 1 @@ fun p ->
+  (match
+     Pool.parallel_map ~task_fuel:100 p
+       (fun x -> if x = 2 then Nascent_support.Guard.exhaust_ambient () else x)
+       [ 1; 2; 3 ]
+   with
+  | _ -> Alcotest.fail "expected Fuel_exhausted on the serial path"
+  | exception Nascent_support.Guard.Fuel_exhausted _ -> ());
+  (* well-behaved tasks are unaffected by the watchdog *)
+  Alcotest.(check (list int))
+    "fueled serial map ≡ List.map" [ 2; 3; 4 ]
+    (Pool.parallel_map ~task_fuel:1000 p (fun x -> x + 1) [ 1; 2; 3 ]);
+  (* the budget is per task, not shared: each task may spend up to the
+     full budget without starving its successors *)
+  Alcotest.(check (list int))
+    "budget renews per task" [ 90; 90; 90 ]
+    (Pool.parallel_map ~task_fuel:100 p
+       (fun _ ->
+         for _ = 1 to 90 do
+           Nascent_support.Guard.tick_ambient ()
+         done;
+         90)
+       [ 1; 2; 3 ])
+
+(* --- quarantine cap ----------------------------------------------------- *)
+
+(* The quarantine is a bounded post-mortem buffer: a flaky disk feeding
+   corrupt entries forever must not grow it without bound. Oldest
+   entries (by mtime) are evicted first. *)
+let test_quarantine_capped_evicts_oldest () =
+  let dir = Filename.temp_dir "nascent-quar" "" in
+  let m : int Memo.t = Memo.create ~disk_dir:dir ~quarantine_max:3 ~name:"t-cap" () in
+  let sub = Filename.concat dir "t-cap" in
+  Sys.mkdir sub 0o755;
+  let keys =
+    List.init 6 (fun i ->
+        let k = Memo.key [ "cap"; string_of_int i ] in
+        let path = Filename.concat sub k in
+        Out_channel.with_open_bin path (fun oc -> output_string oc "corrupt");
+        (* distinct, strictly increasing mtimes (rename preserves them,
+           so quarantine age is the corruption's age) *)
+        let t = 1000000.0 +. float_of_int i in
+        Unix.utimes path t t;
+        k)
+  in
+  (* trigger the six quarantines in write order *)
+  List.iteri
+    (fun i k ->
+      Alcotest.(check int)
+        (Printf.sprintf "corrupt entry %d degrades to recompute" i)
+        i
+        (Memo.find_or_compute m ~key:k (fun () -> i)))
+    keys;
+  Alcotest.(check int) "all six quarantined (counter)" 6 (Memo.stats m).Memo.quarantined;
+  let qd = Filename.concat dir "quarantine" in
+  let entries = Array.to_list (Sys.readdir qd) in
+  Alcotest.(check int) "directory capped at 3" 3 (List.length entries);
+  (* survivors are the NEWEST three by mtime: the last three corrupted *)
+  let expected =
+    List.filteri (fun i _ -> i >= 3) keys |> List.map (fun k -> "t-cap." ^ k)
+  in
+  Alcotest.(check (slist string compare)) "oldest evicted first" expected entries
+
+let test_quarantine_zero_keeps_nothing () =
+  let dir = Filename.temp_dir "nascent-quar0" "" in
+  let m : int Memo.t = Memo.create ~disk_dir:dir ~quarantine_max:0 ~name:"t-zero" () in
+  let sub = Filename.concat dir "t-zero" in
+  Sys.mkdir sub 0o755;
+  let k = Memo.key [ "only" ] in
+  Out_channel.with_open_bin (Filename.concat sub k) (fun oc ->
+      output_string oc "corrupt");
+  Alcotest.(check int) "recomputed" 5 (Memo.find_or_compute m ~key:k (fun () -> 5));
+  Alcotest.(check int) "counted" 1 (Memo.stats m).Memo.quarantined;
+  let qd = Filename.concat dir "quarantine" in
+  let kept = match Sys.readdir qd with es -> Array.length es | exception Sys_error _ -> 0 in
+  Alcotest.(check int) "nothing retained" 0 kept
+
 let suite =
   [
     Util.tc "map preserves order" test_map_preserves_order;
@@ -239,5 +323,8 @@ let suite =
     Util.tc "memo corrupt entry quarantined" test_memo_corrupt_entry_quarantined;
     Util.tc "memo truncated/garbage entries" test_memo_truncated_and_garbage_entries;
     Util.tc "config cache key covers verify" test_config_cache_key_covers_verify;
+    Util.tc "task_fuel on the serial path" test_task_fuel_serial_path;
+    Util.tc "quarantine capped, oldest evicted" test_quarantine_capped_evicts_oldest;
+    Util.tc "quarantine_max=0 keeps nothing" test_quarantine_zero_keeps_nothing;
     Util.tc "tables deterministic across jobs" test_tables_deterministic_across_jobs;
   ]

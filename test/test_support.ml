@@ -1,8 +1,14 @@
-(* Unit and property tests for the support library (Bitset, Vec). *)
+(* Unit and property tests for the support library (Bitset, Vec, and
+   the compile-service building blocks: Json, Retry, Breaker, Guard
+   deadlines). *)
 
 open Util
 module Bitset = Nascent_support.Bitset
 module Vec = Nascent_support.Vec
+module Json = Nascent_support.Json
+module Retry = Nascent_support.Retry
+module Breaker = Nascent_support.Breaker
+module Guard = Nascent_support.Guard
 
 let test_bitset_basic () =
   let b = Bitset.create 100 in
@@ -125,6 +131,234 @@ let test_vec_bounds () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected bounds error"
 
+(* --- Json: the service wire format ------------------------------------- *)
+
+let json = Alcotest.testable (fun ppf v -> Fmt.string ppf (Json.to_string v)) ( = )
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 1.5;
+      Json.Str "";
+      Json.Str "hello \"world\"\n\t\\";
+      Json.Str "unicode: \xc3\xa9\xe2\x82\xac";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.Str "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("op", Json.Str "compile");
+          ("nested", Json.Obj [ ("deep", Json.List [ Json.Bool false ] ) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v -> Alcotest.check json "print/parse roundtrip" v (parse_ok (Json.to_string v)))
+    samples
+
+let test_json_parse_forms () =
+  Alcotest.check json "escapes" (Json.Str "a\nb\"c")
+    (parse_ok {|"a\nb\"c"|});
+  Alcotest.check json "unicode escape" (Json.Str "\xc3\xa9") (parse_ok {|"\u00e9"|});
+  Alcotest.check json "surrogate pair" (Json.Str "\xf0\x9d\x84\x9e")
+    (parse_ok {|"\ud834\udd1e"|});
+  Alcotest.check json "whitespace tolerated" (Json.List [ Json.Int 1; Json.Int 2 ])
+    (parse_ok " [ 1 ,\t2 ] ");
+  Alcotest.check json "integral number is Int" (Json.Int 3) (parse_ok "3");
+  (match parse_ok "3.25" with
+  | Json.Float f -> Alcotest.(check (float 0.0)) "fractional is Float" 3.25 f
+  | v -> Alcotest.failf "expected Float, got %s" (Json.to_string v));
+  Alcotest.check json "scientific" (parse_ok "1.5e2") (parse_ok "150.0")
+
+let test_json_malformed () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok v ->
+          Alcotest.failf "expected parse error for %S, got %s" s (Json.to_string v)
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "\"unterminated";
+      "\"bad \\x escape\"";
+      "nul";
+      "1 2" (* trailing garbage *);
+      "\"raw\tcontrol\"" (* literal control byte in a string *);
+      "\"\\ud834\"" (* unpaired surrogate *);
+      "{\"a\" 1}";
+      "--3";
+    ];
+  (* the anti-DoS nesting bound *)
+  let deep = String.concat "" (List.init 600 (fun _ -> "[")) in
+  match Json.parse deep with
+  | Ok _ -> Alcotest.fail "expected nesting-depth error"
+  | Error _ -> ()
+
+let test_json_accessors () =
+  let v = parse_ok {|{"s":"x","i":7,"b":true,"f":2.5,"n":null}|} in
+  Alcotest.(check (option string)) "str" (Some "x") (Json.str_member "s" v);
+  Alcotest.(check (option int)) "int" (Some 7) (Json.int_member "i" v);
+  Alcotest.(check (option bool)) "bool" (Some true) (Json.bool_member "b" v);
+  Alcotest.(check (option (float 0.0))) "float" (Some 2.5) (Json.float_member "f" v);
+  Alcotest.(check (option (float 0.0))) "float accepts int" (Some 7.0)
+    (Json.float_member "i" v);
+  Alcotest.(check (option int)) "missing member" None (Json.int_member "zz" v);
+  Alcotest.(check (option int)) "shape mismatch" None (Json.int_member "s" v);
+  Alcotest.(check (option int)) "non-object" None (Json.int_member "s" (Json.Int 3))
+
+(* --- Retry: deterministic backoff -------------------------------------- *)
+
+let test_retry_delay_deterministic () =
+  let p = Retry.default in
+  for attempt = 1 to 6 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "delay(seed=5, attempt=%d) is stable" attempt)
+      (Retry.delay_s p ~seed:5 ~attempt)
+      (Retry.delay_s p ~seed:5 ~attempt)
+  done;
+  (* different seeds de-synchronize: not every attempt may differ, but
+     the whole schedule must *)
+  let schedule seed = List.init 5 (fun i -> Retry.delay_s p ~seed ~attempt:(i + 1)) in
+  Alcotest.(check bool) "seeds differ" true (schedule 1 <> schedule 2);
+  (* delays stay within the jittered exponential envelope *)
+  List.iter
+    (fun seed ->
+      List.iteri
+        (fun i d ->
+          let base =
+            Float.min p.Retry.max_delay_s
+              (p.Retry.base_delay_s *. (p.Retry.multiplier ** float_of_int i))
+          in
+          if d < base *. (1.0 -. p.Retry.jitter) -. 1e-9
+             || d > base *. (1.0 +. p.Retry.jitter) +. 1e-9
+          then
+            Alcotest.failf "delay %g outside envelope around %g (attempt %d)" d base
+              (i + 1))
+        (schedule seed))
+    [ 1; 2; 3; 17; 255 ]
+
+let test_retry_outcomes () =
+  let sleeps = ref [] in
+  let sleep s = sleeps := s :: !sleeps in
+  let policy = { Retry.default with Retry.max_attempts = 4 } in
+  (* succeeds on attempt 3: two backoffs *)
+  (match
+     Retry.run ~sleep ~policy ~seed:1 (fun ~attempt ->
+         if attempt < 3 then Error (`Retryable "not yet") else Ok attempt)
+   with
+  | Retry.Ok_after (3, 3) -> ()
+  | Retry.Ok_after (n, _) -> Alcotest.failf "succeeded on attempt %d, wanted 3" n
+  | Retry.Gave_up _ -> Alcotest.fail "should have succeeded");
+  Alcotest.(check int) "one sleep per retry" 2 (List.length !sleeps);
+  (* a fatal error short-circuits *)
+  (match
+     Retry.run ~sleep:ignore ~policy ~seed:1 (fun ~attempt:_ ->
+         (Error (`Fatal "broken") : (unit, _) result))
+   with
+  | Retry.Gave_up (1, "broken") -> ()
+  | _ -> Alcotest.fail "fatal must give up on attempt 1");
+  (* retryable exhaustion stops at max_attempts *)
+  let tries = ref 0 in
+  (match
+     Retry.run ~sleep:ignore ~policy ~seed:1 (fun ~attempt:_ ->
+         incr tries;
+         (Error (`Retryable "still down") : (unit, _) result))
+   with
+  | Retry.Gave_up (4, "still down") -> ()
+  | _ -> Alcotest.fail "expected exhaustion at max_attempts");
+  Alcotest.(check int) "tried exactly max_attempts times" 4 !tries
+
+(* --- Breaker: the graceful-degradation state machine ------------------- *)
+
+let test_breaker_state_machine () =
+  let b = Breaker.create ~threshold:3 ~cooldown_s:10.0 () in
+  let decide now = Breaker.decide b ~now "CS" in
+  let record now ok = Breaker.record b ~now "CS" ~ok in
+  Alcotest.(check bool) "unknown key allowed" true (decide 0.0 = `Allow);
+  record 1.0 false;
+  record 2.0 false;
+  Alcotest.(check bool) "below threshold still allowed" true (decide 2.5 = `Allow);
+  (* a success resets the consecutive count *)
+  record 3.0 true;
+  record 4.0 false;
+  record 5.0 false;
+  Alcotest.(check bool) "reset by success: still closed" true (decide 5.5 = `Allow);
+  record 6.0 false;
+  Alcotest.(check bool) "third consecutive failure trips" true
+    (Breaker.state b "CS" = Breaker.Open);
+  Alcotest.(check int) "trip counted" 1 (Breaker.trips b);
+  Alcotest.(check bool) "open: fallback" true (decide 7.0 = `Fallback);
+  Alcotest.(check bool) "still within cooldown" true (decide 15.9 = `Fallback);
+  (* cooldown over: exactly one probe *)
+  Alcotest.(check bool) "probe after cooldown" true (decide 16.1 = `Probe);
+  Alcotest.(check bool) "second caller falls back during probe" true
+    (decide 16.2 = `Fallback);
+  (* failed probe re-opens; the next probe needs a fresh cooldown *)
+  record 16.3 false;
+  Alcotest.(check bool) "failed probe re-opens" true (decide 16.4 = `Fallback);
+  Alcotest.(check bool) "cooldown restarts" true (decide 20.0 = `Fallback);
+  Alcotest.(check bool) "second probe" true (decide 26.4 = `Probe);
+  record 26.5 true;
+  Alcotest.(check bool) "successful probe closes" true (decide 26.6 = `Allow);
+  Alcotest.(check bool) "closed state visible" true
+    (Breaker.state b "CS" = Breaker.Closed);
+  (* keys are independent *)
+  Alcotest.(check bool) "other keys unaffected" true
+    (Breaker.decide b ~now:26.7 "LLS" = `Allow);
+  Alcotest.(check int) "snapshot lists both keys" 2
+    (List.length (Breaker.snapshot b))
+
+(* --- Guard: wall-clock deadlines over ambient ticking ------------------- *)
+
+let test_deadline_expiry () =
+  let d = Guard.deadline ~what:"t" ~seconds:10.0 in
+  Alcotest.(check bool) "fresh deadline not expired" false (Guard.expired d);
+  Alcotest.(check bool) "remaining positive" true (Guard.remaining_s d > 0.0);
+  let z = Guard.deadline ~what:"z" ~seconds:0.0 in
+  Unix.sleepf 0.01;
+  Alcotest.(check bool) "zero budget expires" true (Guard.expired z);
+  Alcotest.(check (float 0.0)) "remaining clamped" 0.0 (Guard.remaining_s z)
+
+let test_deadline_fires_on_ambient_tick () =
+  let d = Guard.deadline ~what:"req" ~seconds:0.0 in
+  Unix.sleepf 0.01;
+  (match
+     Guard.with_deadline d (fun () ->
+         for _ = 1 to 100_000 do
+           Guard.tick_ambient ()
+         done)
+   with
+  | () -> Alcotest.fail "expected Deadline_exceeded from ambient ticking"
+  | exception Guard.Deadline_exceeded what ->
+      Alcotest.(check string) "names the deadline" "req" what);
+  (* the deadline is popped on exit: ticking outside is free again *)
+  Guard.tick_ambient ();
+  (* check_deadlines bypasses the tick throttle *)
+  match Guard.with_deadline d Guard.check_deadlines with
+  | () -> Alcotest.fail "check_deadlines must raise on an expired deadline"
+  | exception Guard.Deadline_exceeded _ -> ()
+
+let test_deadline_generous_budget_no_fire () =
+  let d = Guard.deadline ~what:"slow" ~seconds:60.0 in
+  Guard.with_deadline d (fun () ->
+      for _ = 1 to 10_000 do
+        Guard.tick_ambient ()
+      done);
+  Alcotest.(check bool) "a minute was enough" false (Guard.expired d)
+
 let suite =
   [
     tc "bitset: basic" test_bitset_basic;
@@ -139,4 +373,14 @@ let suite =
     QCheck_alcotest.to_alcotest prop_demorgan;
     tc "vec: basic" test_vec_basic;
     tc "vec: bounds" test_vec_bounds;
+    tc "json: roundtrip" test_json_roundtrip;
+    tc "json: parse forms" test_json_parse_forms;
+    tc "json: malformed rejected" test_json_malformed;
+    tc "json: accessors" test_json_accessors;
+    tc "retry: deterministic jitter" test_retry_delay_deterministic;
+    tc "retry: outcomes" test_retry_outcomes;
+    tc "breaker: state machine" test_breaker_state_machine;
+    tc "guard: deadline expiry" test_deadline_expiry;
+    tc "guard: deadline fires on tick" test_deadline_fires_on_ambient_tick;
+    tc "guard: generous deadline quiet" test_deadline_generous_budget_no_fire;
   ]

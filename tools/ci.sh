@@ -1,12 +1,72 @@
 #!/bin/sh
-# One-command CI gate (the @ci alias): build + tests + verifier sweep
-# (zero incidents), the fault-injection smoke matrix (`nascentc verify
-# --inject-fault smoke`: every mutation class must be detected, rolled
-# back and behaviour-preserving; a fault-free cell reporting an
-# incident also fails), then the evaluation tables on a 2-domain pool
-# (NASCENT_JOBS=2) with the serial-vs-parallel-vs-warm-cache
-# determinism check — the gate fails if pool size or caching changes a
-# single table cell.
+# One-command CI gate: `dune build @ci` (build + tests + verifier sweep
+# with zero incidents + the fault-injection smoke matrix + the
+# serial-vs-parallel-vs-warm-cache determinism check on a 2-domain
+# pool), followed by the compile-service smoke — boot nascentd, drive
+# it with the real client (plain compile, status, injected fault,
+# deadline-exceeded), then prove the SIGTERM drain exits 0. Every
+# client step runs under `timeout`, so a wedged daemon fails the gate
+# instead of hanging it.
 set -eu
 cd "$(dirname "$0")/.."
-exec dune build @ci
+
+dune build @ci
+
+# --- compile-service smoke --------------------------------------------
+
+SOCK="${TMPDIR:-/tmp}/nascent-ci-$$.sock"
+LOG="${TMPDIR:-/tmp}/nascent-ci-$$.log"
+
+fail() {
+    echo "FAIL: $1" >&2
+    [ -f "$LOG" ] && sed 's/^/  nascentd: /' "$LOG" >&2
+    exit 1
+}
+
+./_build/default/bin/nascentd.exe --socket "$SOCK" --jobs 2 >"$LOG" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -f "$SOCK" "$LOG"' EXIT INT TERM
+
+client() {
+    timeout 30 ./_build/default/bin/nascentc.exe client --connect "$SOCK" "$@"
+}
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    kill -0 "$DAEMON" 2>/dev/null || fail "nascentd died on startup"
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "nascentd never bound $SOCK"
+    sleep 0.1
+done
+
+# plain compile answers ok (exit 0)
+client vortex >/dev/null || fail "service compile exited $?, want 0"
+
+# status answers inline (exit 0)
+client --status >/dev/null || fail "service status exited $?, want 0"
+
+# an injected fault compiles degraded, with incident records (exit 4)
+rc=0; client vortex -s CS --inject-fault drop-check:7 >/dev/null || rc=$?
+[ "$rc" -eq 4 ] || fail "injected-fault compile exited $rc, want 4"
+
+# a hung request is cut off by its deadline (exit 6), worker freed
+rc=0; client --burn --deadline-ms 300 >/dev/null || rc=$?
+[ "$rc" -eq 6 ] || fail "deadline-exceeded request exited $rc, want 6"
+
+# ...freed enough to keep serving
+client vortex >/dev/null || fail "compile after deadline exited $?, want 0"
+
+# SIGTERM drains gracefully: prompt exit, code 0
+kill -TERM "$DAEMON"
+i=0
+while kill -0 "$DAEMON" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "nascentd did not drain within 10s of SIGTERM"
+    sleep 0.1
+done
+rc=0; wait "$DAEMON" || rc=$?
+[ "$rc" -eq 0 ] || fail "nascentd exited $rc after SIGTERM drain, want 0"
+
+trap - EXIT INT TERM
+rm -f "$SOCK" "$LOG"
+echo "service smoke OK: compile, status, fault->4, deadline->6, SIGTERM drain->0"
