@@ -54,7 +54,11 @@ let install_signal_exit () =
     (fun (signal, name) ->
       try Sys.set_signal signal (handle name)
       with Invalid_argument _ | Sys_error _ -> ())
-    [ (Sys.sigint, "SIGINT"); (Sys.sigterm, "SIGTERM") ]
+    [ (Sys.sigint, "SIGINT"); (Sys.sigterm, "SIGTERM") ];
+  (* client mode races draining daemons: a broken pipe must surface as
+     EPIPE (retryable) rather than kill the process *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
 
 let read_file path =
   let ic = open_in_bin path in

@@ -20,9 +20,12 @@
    failures the scheme trips and requests for it are routed to the
    always-safe NI floor — still a correct, fully checked compile, per
    the fail-safe pipeline's contract — until a cooldown probe at the
-   real scheme succeeds. Fallback compiles never feed the breaker: they
-   say nothing about the failing scheme's health. NI itself is the
-   floor and bypasses the breaker entirely. *)
+   real scheme succeeds. A compile aborted by its deadline or fuel
+   budget records a failure too (so a lost probe cannot wedge the
+   breaker half-open); invalid-program errors record nothing — they
+   are the input's fault. Fallback compiles never feed the breaker:
+   they say nothing about the failing scheme's health. NI itself is
+   the floor and bypasses the breaker entirely. *)
 
 module B = Nascent_benchmarks.Suite
 module Ir = Nascent_ir
@@ -194,10 +197,29 @@ let handle_compile t req =
   let used_scheme = if fallback then Config.NI else scheme in
   let config = Config.make ~scheme:used_scheme ~kind ~impl ~verify ?fault () in
   let t0 = Mclock.counter () in
-  let cell, cached = compile_cell t ~src ~config ~want_run in
-  let ok = cell.r_incidents = [] in
   (* Only compiles at the REQUESTED scheme feed its breaker. *)
-  if (not fallback) && scheme <> Config.NI then Breaker.record t.breaker ~now:(now ()) sname ~ok;
+  let record_attempt ok =
+    if (not fallback) && scheme <> Config.NI then
+      Breaker.record t.breaker ~now:(now ()) sname ~ok
+  in
+  let cell, cached =
+    match compile_cell t ~src ~config ~want_run with
+    | result -> result
+    | exception ((Failure _ | Ir.Lower.Lower_error _ | Ir.Verify.Invalid_ir _) as e)
+      ->
+        (* the program's fault, not the scheme's: never feeds the breaker *)
+        raise e
+    | exception e ->
+        (* A deadline, fuel exhaustion or internal error aborted the
+           attempt before it could produce incidents. The breaker must
+           still hear about it — in particular a `Probe that dies here
+           would otherwise leave the key half-open with no recorded
+           outcome. *)
+        record_attempt false;
+        raise e
+  in
+  let ok = cell.r_incidents = [] in
+  record_attempt ok;
   counted t (fun () ->
       t.compiles <- t.compiles + 1;
       if fallback then t.fallbacks <- t.fallbacks + 1;

@@ -4,7 +4,9 @@
    fall back (the always-safe NI floor) instead of burning worker time
    on a scheme that keeps faulting. After [cooldown_s] one caller is
    admitted as a probe (half-open); its success closes the breaker,
-   its failure re-opens the clock.
+   its failure re-opens the clock. A probe that never reports back
+   (lost to a crash or deadline) re-arms after another cooldown, so
+   half-open can never become a permanent fallback.
 
    Time is an explicit [~now] parameter (monotonic seconds from any
    epoch the caller likes), so the state machine is a pure function of
@@ -21,7 +23,10 @@ let state_name = function
 type entry = {
   mutable failures : int; (* consecutive failures while closed *)
   mutable st : state;
-  mutable opened_at : float; (* valid when st <> Closed *)
+  mutable opened_at : float;
+      (* Open: when the breaker opened; Half_open: when the current
+         probe was issued. Either way "the clock started here" — after
+         [cooldown_s] the next decide may (re-)probe. *)
 }
 
 type t = {
@@ -58,10 +63,20 @@ let decide t ~now key =
   let e = entry t key in
   match e.st with
   | Closed -> `Allow
-  | Half_open -> `Fallback (* a probe is already in flight *)
+  | Half_open ->
+      (* A probe is in flight — but a probe whose outcome was never
+         recorded (its worker crashed, its deadline fired before the
+         caller could report) must not wedge the key in fallback
+         forever: after another cooldown the probe is re-armed. *)
+      if now -. e.opened_at >= t.cooldown_s then begin
+        e.opened_at <- now;
+        `Probe
+      end
+      else `Fallback
   | Open ->
       if now -. e.opened_at >= t.cooldown_s then begin
         e.st <- Half_open;
+        e.opened_at <- now (* the probe-staleness clock starts now *);
         `Probe
       end
       else `Fallback

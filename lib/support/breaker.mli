@@ -6,7 +6,11 @@
     it. While [Open], {!decide} answers [`Fallback] (route the request
     to the always-safe floor) until [cooldown_s] has elapsed, then
     admits exactly one [`Probe]; the probe's {!record} result closes
-    ([ok = true]) or re-opens ([ok = false]) the key.
+    ([ok = true]) or re-opens ([ok = false]) the key. A probe whose
+    outcome is never recorded (lost to a crash or a deadline) stops
+    blocking after another [cooldown_s]: {!decide} re-arms the probe
+    rather than letting [Half_open] wedge the key in fallback
+    forever.
 
     Time is an explicit [~now] (monotonic seconds, any epoch): the
     state machine is a pure function of its call sequence, so tests
@@ -27,8 +31,8 @@ val create : ?threshold:int -> ?cooldown_s:float -> unit -> t
 val decide : t -> now:float -> string -> [ `Allow | `Probe | `Fallback ]
 (** What to do with a request for [key]: [`Allow] (closed), [`Probe]
     (first caller after cooldown — run the real thing and {!record}
-    the outcome), or [`Fallback] (open, or a probe already in
-    flight). *)
+    the outcome), or [`Fallback] (open, or a probe already in flight;
+    a probe older than [cooldown_s] is presumed lost and re-armed). *)
 
 val record : t -> now:float -> string -> ok:bool -> unit
 (** Record a request outcome for [key]. Success closes and zeroes the

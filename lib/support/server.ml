@@ -26,6 +26,16 @@
      with {"code":"internal"} and the worker survives; anything that
      escapes even that guard restarts the worker loop (counted in
      [worker_restarts]) instead of silently losing a domain;
+   - connection lifecycle: a connection's fd, conn record and reader
+     thread are released as soon as the client hangs up AND its last
+     queued response has been written (a refcount on the conn), so a
+     long-running daemon serving one-connection-per-request clients
+     holds resources proportional to the live connection count, never
+     to the lifetime request count;
+   - accept resilience: accept(2) failures (ECONNABORTED, EMFILE under
+     fd pressure, ...) are counted and absorbed — the accept loop backs
+     off briefly on fd exhaustion and keeps serving instead of crashing
+     the daemon with admitted requests still queued;
    - graceful drain: [stop] (wired to SIGTERM/SIGINT by nascentd) stops
      accepting, sheds NEW requests with {"code":"shutting-down",
      "retryable":true}, finishes every admitted request, flushes
@@ -64,12 +74,16 @@ type counters = {
   mutable bad_requests : int; (* unparseable lines *)
   mutable worker_restarts : int; (* escaped-exception supervisions *)
   mutable connections : int; (* lifetime accepted connections *)
+  mutable accept_errors : int; (* absorbed accept(2) failures *)
 }
 
 type conn = {
   fd : Unix.file_descr;
-  wlock : Mutex.t; (* one response line at a time *)
-  mutable alive : bool;
+  wlock : Mutex.t; (* one response line at a time; guards the fields below *)
+  mutable alive : bool; (* writing still makes sense *)
+  mutable pending : int; (* admitted jobs that will answer on this conn *)
+  mutable eof : bool; (* reader finished: no more requests coming *)
+  mutable closed : bool; (* fd closed — never touch it again (fd reuse) *)
 }
 
 type job = {
@@ -116,6 +130,7 @@ let create cfg handler =
         bad_requests = 0;
         worker_restarts = 0;
         connections = 0;
+        accept_errors = 0;
       };
     started = Mclock.counter ();
     stop_r;
@@ -137,6 +152,41 @@ let stopping t = Atomic.get t.stopping
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- connection lifecycle ---------------------------------------------- *)
+
+(* A connection is released (fd closed, record dropped from [t.conns])
+   as soon as BOTH hold: the reader saw EOF, and no admitted job still
+   owes it a response. [pending] is the refcount for the second half;
+   jobs retain at admission and release after answering. The [closed]
+   flag makes close idempotent and — because every fd touch is guarded
+   by [wlock] + [closed] — prevents writes or shutdowns landing on a
+   reused fd number. t.lock and conn.wlock are never held together:
+   a client too slow to drain its responses (a write blocked under
+   wlock) must never stall the global lock. *)
+
+let close_conn_locked conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    conn.alive <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let forget_conn t conn =
+  locked t (fun () -> t.conns <- List.filter (fun c -> c != conn) t.conns)
+
+let conn_retain conn =
+  Mutex.lock conn.wlock;
+  conn.pending <- conn.pending + 1;
+  Mutex.unlock conn.wlock
+
+let conn_release t conn =
+  Mutex.lock conn.wlock;
+  conn.pending <- conn.pending - 1;
+  let done_with = conn.eof && conn.pending = 0 && not conn.closed in
+  if done_with then close_conn_locked conn;
+  Mutex.unlock conn.wlock;
+  if done_with then forget_conn t conn
 
 (* --- responses --------------------------------------------------------- *)
 
@@ -171,7 +221,9 @@ let with_id ~id = function
   | other -> Json.Obj [ ("id", id); ("result", other) ]
 
 let status_response t ~id =
-  let depth, inflight = locked t (fun () -> (Queue.length t.queue, t.inflight)) in
+  let depth, inflight, open_conns =
+    locked t (fun () -> (Queue.length t.queue, t.inflight, List.length t.conns))
+  in
   let c = t.c in
   Json.Obj
     ([
@@ -190,6 +242,8 @@ let status_response t ~id =
        ("bad_requests", Json.Int c.bad_requests);
        ("worker_restarts", Json.Int c.worker_restarts);
        ("connections", Json.Int c.connections);
+       ("open_connections", Json.Int open_conns);
+       ("accept_errors", Json.Int c.accept_errors);
      ]
     @ t.handler.status_extra ())
 
@@ -255,6 +309,7 @@ let rec worker_loop t =
   | Some job ->
       Fun.protect
         ~finally:(fun () ->
+          conn_release t job.jconn;
           Mutex.lock t.lock;
           t.inflight <- t.inflight - 1;
           if t.inflight = 0 && Queue.is_empty t.queue then Condition.broadcast t.drained;
@@ -265,12 +320,20 @@ let rec worker_loop t =
 (* Supervision: [process] already guards the handler, so nothing should
    escape — but "should" is not a failure-domain boundary. If something
    does (a write path bug, an allocation failure), the worker restarts
-   its loop instead of silently shrinking the pool. *)
+   its loop instead of silently shrinking the pool. During a drain the
+   restart condition is the queue, not the stopping flag: admitted
+   requests must still be answered, and if this was the last live
+   worker, exiting here would leave [run] waiting on [drained]
+   forever. *)
 let rec worker_main t =
   try worker_loop t
   with _ ->
-    locked t (fun () -> t.c.worker_restarts <- t.c.worker_restarts + 1);
-    if not (stopping t) then worker_main t
+    let restart =
+      locked t (fun () ->
+          t.c.worker_restarts <- t.c.worker_restarts + 1;
+          (not (stopping t)) || not (Queue.is_empty t.queue))
+    in
+    if restart then worker_main t
 
 (* --- admission --------------------------------------------------------- *)
 
@@ -284,10 +347,17 @@ let request_deadline t req =
   Option.map (fun seconds -> Guard.deadline ~what:"request" ~seconds) explicit
 
 let enqueue t conn ~id req =
+  (* Retained up front (outside t.lock — the locks never nest): an
+     admitted job owns a ref on its connection until its response is
+     written. The shed paths give the ref straight back; they run on
+     the reader thread, so [eof] is still false and the release cannot
+     be the closing one. *)
+  conn_retain conn;
   Mutex.lock t.lock;
   if stopping t then begin
     t.c.shed <- t.c.shed + 1;
     Mutex.unlock t.lock;
+    conn_release t conn;
     answer conn
       (error_response ~id ~code:"shutting-down" ~retryable:true
          "server is draining; retry against a fresh instance")
@@ -295,6 +365,7 @@ let enqueue t conn ~id req =
   else if Queue.length t.queue >= t.cfg.queue_depth then begin
     t.c.shed <- t.c.shed + 1;
     Mutex.unlock t.lock;
+    conn_release t conn;
     answer conn
       (error_response ~id ~code:"overloaded" ~retryable:true
          (Printf.sprintf "queue full (%d requests); back off and retry"
@@ -346,9 +417,20 @@ let serve_conn t conn =
         loop ()
   in
   loop ();
+  (* Reader done: release the connection as soon as the last admitted
+     response is out (now, if nothing is pending), and take this thread
+     off the join list — a long-lived daemon must not accumulate one
+     fd + conn record + reader per served connection. *)
   Mutex.lock conn.wlock;
+  conn.eof <- true;
   conn.alive <- false;
-  Mutex.unlock conn.wlock
+  let done_with = conn.pending = 0 && not conn.closed in
+  if done_with then close_conn_locked conn;
+  Mutex.unlock conn.wlock;
+  if done_with then forget_conn t conn;
+  let self = Thread.id (Thread.self ()) in
+  locked t (fun () ->
+      t.readers <- List.filter (fun th -> Thread.id th <> self) t.readers)
 
 (* --- lifecycle --------------------------------------------------------- *)
 
@@ -373,14 +455,50 @@ let run t =
           if List.mem listen_fd rs && not (stopping t) then (
             match Unix.accept ~cloexec:true listen_fd with
             | cfd, _ ->
-                let conn = { fd = cfd; wlock = Mutex.create (); alive = true } in
-                let reader = Thread.create (fun () -> serve_conn t conn) () in
-                locked t (fun () ->
-                    t.c.connections <- t.c.connections + 1;
-                    t.conns <- conn :: t.conns;
-                    t.readers <- reader :: t.readers)
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                let conn =
+                  {
+                    fd = cfd;
+                    wlock = Mutex.create ();
+                    alive = true;
+                    pending = 0;
+                    eof = false;
+                    closed = false;
+                  }
+                in
+                (* Register under t.lock BEFORE the reader serves a
+                   byte: serve_conn deregisters itself at EOF, so the
+                   registration it undoes must already exist even for a
+                   connection that hangs up instantly. Holding the lock
+                   across Thread.create pins the order — the reader's
+                   opening lock/unlock handshake cannot complete until
+                   the registration below is published. *)
+                Mutex.lock t.lock;
+                let reader =
+                  Thread.create
+                    (fun () ->
+                      Mutex.lock t.lock;
+                      Mutex.unlock t.lock;
+                      serve_conn t conn)
+                    ()
+                in
+                t.c.connections <- t.c.connections + 1;
+                t.conns <- conn :: t.conns;
+                t.readers <- reader :: t.readers;
+                Mutex.unlock t.lock
+            | exception Unix.Unix_error (e, _, _) ->
+                (* Never let a failed accept kill a daemon with admitted
+                   work: count it, back off briefly when the process is
+                   out of fds, and keep serving. *)
+                if e <> Unix.EINTR then begin
+                  locked t (fun () -> t.c.accept_errors <- t.c.accept_errors + 1);
+                  match e with
+                  | Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM ->
+                      Unix.sleepf 0.05
+                  | _ -> ()
+                end)
+      | exception Unix.Unix_error (e, _, _) ->
+          (* EINTR is routine; anything else must not hot-loop *)
+          if e <> Unix.EINTR then Unix.sleepf 0.05);
       accept_loop ()
     end
   in
@@ -399,14 +517,26 @@ let run t =
   Condition.broadcast t.nonempty;
   Mutex.unlock t.lock;
   List.iter Domain.join workers;
-  (* Every response is on the wire: hang up and collect the readers. *)
+  (* Every response is on the wire: hang up the surviving connections
+     (already-released ones are gone from t.conns) and collect their
+     readers. The [closed] check under wlock keeps the shutdown off fd
+     numbers a racing reader-side close may have recycled. *)
   let conns, readers = locked t (fun () -> (t.conns, t.readers)) in
   List.iter
     (fun conn ->
-      try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      Mutex.lock conn.wlock;
+      if not conn.closed then (
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      Mutex.unlock conn.wlock)
     conns;
   List.iter Thread.join readers;
-  List.iter (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) conns;
+  (* Readers close their own conn at EOF; sweep whatever is left. *)
+  List.iter
+    (fun conn ->
+      Mutex.lock conn.wlock;
+      close_conn_locked conn;
+      Mutex.unlock conn.wlock)
+    conns;
   Unix.close t.stop_r;
   Unix.close t.stop_w
 
@@ -455,22 +585,38 @@ module Client = struct
     in
     take_line ()
 
+  (* One exchange, with the two non-exception failure modes kept
+     distinct: a connection that closed before a complete response
+     (expected when racing a draining/restarting daemon — retryable)
+     vs. a response line that did arrive but does not parse (a protocol
+     bug — fatal). Unix errors propagate to the caller. *)
+  let exchange conn (req : Json.t) =
+    send_line conn (Json.to_string req);
+    match recv_line conn with
+    | Some line -> (
+        match Json.parse line with
+        | Ok resp -> Ok resp
+        | Error msg -> Error (`Garbled msg))
+    | None -> Error `Closed
+
   let request conn (req : Json.t) : (Json.t, string) result =
-    match
-      send_line conn (Json.to_string req);
-      recv_line conn
-    with
-    | Some line -> Json.parse line
-    | None -> Error "connection closed before a response arrived"
+    match exchange conn req with
+    | Ok resp -> Ok resp
+    | Error (`Garbled msg) -> Error msg
+    | Error `Closed -> Error "connection closed before a response arrived"
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
-  (* One-shot request with exponential backoff + deterministic jitter:
-     retries connection refusals (daemon restarting) and responses the
-     server marks retryable (overload shedding, drain). *)
+  (* One-shot request with exponential backoff + deterministic jitter.
+     Retryable: connection refusals (daemon restarting), responses the
+     server marks retryable (overload shedding, drain), and a
+     connection torn down mid-exchange (EPIPE/ECONNRESET or EOF before
+     a response) — the expected outcomes of racing a daemon that is
+     draining or restarting, and safe to replay because requests are
+     idempotent: compiles are memoized, status/burn are read-only. *)
   let request_retry ?(policy = Retry.default) ?sleep ~seed path (req : Json.t) :
       (Json.t, string) result =
     let attempt ~attempt:_ =
-      match with_conn path (fun conn -> request conn req) with
+      match with_conn path (fun conn -> exchange conn req) with
       | Ok resp ->
           if
             Json.str_member "status" resp = Some "error"
@@ -481,9 +627,15 @@ module Client = struct
                 (Option.value ~default:"retryable error"
                    (Json.str_member "detail" resp)))
           else Ok resp
-      | Error msg -> Error (`Fatal msg)
+      | Error (`Garbled msg) -> Error (`Fatal msg)
+      | Error `Closed ->
+          Error (`Retryable "connection closed before a response arrived")
       | exception
-          Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+          Unix.Unix_error
+            ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.ECONNRESET
+              | Unix.EPIPE ),
+              _,
+              _ )
         -> Error (`Retryable "cannot connect")
       | exception Unix.Unix_error (e, _, _) -> Error (`Fatal (Unix.error_message e))
     in

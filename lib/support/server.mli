@@ -92,6 +92,10 @@ module Client : sig
     Json.t ->
     (Json.t, string) result
   (** One-shot exchange on a fresh connection, with {!Retry} backoff
-      (deterministic jitter from [seed]) against connection refusals
-      and responses marked [retryable]. *)
+      (deterministic jitter from [seed]). Retryable: connection
+      refusals, responses marked [retryable], and a connection torn
+      down mid-exchange (EPIPE/ECONNRESET/EOF before a response) —
+      racing a draining or restarting daemon is safe because requests
+      are idempotent (compiles are memoized, status is read-only). A
+      response that arrives but fails to parse is fatal. *)
 end

@@ -15,6 +15,10 @@ module Retry = Nascent_support.Retry
 module Guard = Nascent_support.Guard
 module Service = Nascent_harness.Service
 
+(* These tests race clients against draining/hung-up servers: broken
+   pipes must surface as EPIPE, not kill the test binary. *)
+let () = try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
 let sock_counter = ref 0
 
 let fresh_socket () =
@@ -395,6 +399,48 @@ let test_client_retries_through_overload () =
       Alcotest.(check bool) "reports the attempt count" true
         (String.length msg > 0 && msg.[0] = 'g' (* "gave up after ..." *))
 
+(* A daemon that hangs up mid-exchange (draining, restarting) is a
+   RETRYABLE failure — requests are idempotent — not an exit-7 fatal.
+   Simulated with a raw listener that accepts and immediately closes:
+   every attempt ends in EPIPE/ECONNRESET or EOF-before-response, and
+   the client must burn through all its attempts rather than give up
+   on the first. *)
+let test_retry_classifies_midexchange_close () =
+  let path = fresh_socket () in
+  let attempts = 3 in
+  let lfd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind lfd (ADDR_UNIX path);
+  Unix.listen lfd 8;
+  let hangup_server =
+    Thread.create
+      (fun () ->
+        for _ = 1 to attempts do
+          let cfd, _ = Unix.accept lfd in
+          Unix.close cfd
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join hangup_server;
+      Unix.close lfd;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let policy = { Retry.default with Retry.max_attempts = attempts } in
+      match
+        Client.request_retry ~policy ~sleep:ignore ~seed:3 path
+          (compile_req "simple")
+      with
+      | Ok _ -> Alcotest.fail "no response should ever arrive"
+      | Error msg ->
+          (* a fatal classification would read "gave up after 1" *)
+          let expected = Printf.sprintf "gave up after %d attempt(s)" attempts in
+          Alcotest.(check bool)
+            (Printf.sprintf "all %d attempts used (got: %s)" attempts msg)
+            true
+            (String.length msg >= String.length expected
+            && String.sub msg 0 (String.length expected) = expected))
+
 (* --- circuit breaker ------------------------------------------------------ *)
 
 let test_breaker_trips_and_recovers () =
@@ -563,6 +609,36 @@ let test_drain_loses_nothing () =
   Alcotest.(check bool) "socket file removed after drain" true
     (not (Sys.file_exists path))
 
+(* One connection per request is nascentc's connection discipline: the
+   server must release each one (fd, conn record, reader thread) once
+   the client hangs up and its responses are out — a long-running
+   daemon may not hold resources proportional to lifetime traffic. *)
+let test_connection_resources_released () =
+  with_service @@ fun path _ ->
+  let churn = 8 in
+  for i = 1 to churn do
+    Client.with_conn path @@ fun conn ->
+    ignore (request_exn conn (compile_req ~id:(Json.Int i) "simple"))
+  done;
+  Client.with_conn path @@ fun stconn ->
+  (* EOF is noticed asynchronously by the reader threads: poll *)
+  let rec poll n =
+    let st = request_exn stconn status_req in
+    if ifield st "open_connections" <= 1 then st
+    else if n = 0 then
+      Alcotest.failf "connections never released: %d still open after churn"
+        (ifield st "open_connections")
+    else begin
+      Unix.sleepf 0.02;
+      poll (n - 1)
+    end
+  in
+  let st = poll 250 in
+  Alcotest.(check int) "every churned connection was accepted" (churn + 1)
+    (ifield st "connections");
+  Alcotest.(check int) "none of the served requests were lost" churn
+    (ifield st "served")
+
 let suite =
   [
     Util.tc "compile request round-trips" test_compile_ok;
@@ -573,6 +649,8 @@ let suite =
     Util.tc "deadline counts queue wait" test_deadline_counts_queue_wait;
     Util.tc "overload sheds retryably" test_overload_sheds_with_retryable;
     Util.tc "client retries through overload" test_client_retries_through_overload;
+    Util.tc "mid-exchange close is retryable" test_retry_classifies_midexchange_close;
+    Util.tc "connection resources released" test_connection_resources_released;
     Util.tc "breaker trips and recovers" test_breaker_trips_and_recovers;
     Util.tc "100 concurrent faulted requests" test_hundred_concurrent_faulted_requests;
     Util.tc "drain loses nothing" test_drain_loses_nothing;

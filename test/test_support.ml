@@ -321,6 +321,25 @@ let test_breaker_state_machine () =
   Alcotest.(check int) "snapshot lists both keys" 2
     (List.length (Breaker.snapshot b))
 
+(* A probe whose outcome is never recorded (its worker crashed, its
+   deadline fired before the caller could report) must not wedge the
+   key in `Fallback forever: after another cooldown the probe
+   re-arms. *)
+let test_breaker_stalled_probe_rearms () =
+  let b = Breaker.create ~threshold:1 ~cooldown_s:10.0 () in
+  Breaker.record b ~now:0.0 "CS" ~ok:false;
+  Alcotest.(check bool) "tripped" true (Breaker.state b "CS" = Breaker.Open);
+  Alcotest.(check bool) "probe after cooldown" true
+    (Breaker.decide b ~now:11.0 "CS" = `Probe);
+  (* the probe is lost: nothing records its outcome *)
+  Alcotest.(check bool) "fresh probe blocks other callers" true
+    (Breaker.decide b ~now:12.0 "CS" = `Fallback);
+  Alcotest.(check bool) "stalled probe re-arms after another cooldown" true
+    (Breaker.decide b ~now:21.5 "CS" = `Probe);
+  (* and the re-armed probe can still close the key *)
+  Breaker.record b ~now:22.0 "CS" ~ok:true;
+  Alcotest.(check bool) "recovered" true (Breaker.state b "CS" = Breaker.Closed)
+
 (* --- Guard: wall-clock deadlines over ambient ticking ------------------- *)
 
 let test_deadline_expiry () =
@@ -380,6 +399,7 @@ let suite =
     tc "retry: deterministic jitter" test_retry_delay_deterministic;
     tc "retry: outcomes" test_retry_outcomes;
     tc "breaker: state machine" test_breaker_state_machine;
+    tc "breaker: stalled probe re-arms" test_breaker_stalled_probe_rearms;
     tc "guard: deadline expiry" test_deadline_expiry;
     tc "guard: deadline fires on tick" test_deadline_fires_on_ambient_tick;
     tc "guard: generous deadline quiet" test_deadline_generous_budget_no_fire;
