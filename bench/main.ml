@@ -256,6 +256,23 @@ let run_service () =
         ignore (once ()) (* populate the result cache *);
         List.init warm_n (fun _ -> once ()))
   in
+  (* Recovery/watchdog counters (journal replay, restarts, memory
+     shedding) from the status op — all zero in this in-process run,
+     printed so the bench output shape matches a production daemon's. *)
+  let robustness_line =
+    Client.with_conn path (fun conn ->
+        match Client.request conn (Json.Obj [ ("op", Json.Str "status") ]) with
+        | Error e -> "status unavailable: " ^ e
+        | Ok st ->
+            let geti name =
+              match Json.member name st with Some (Json.Int n) -> n | _ -> 0
+            in
+            Printf.sprintf
+              "replayed=%d journal_quarantined=%d restarts=%d mem_shed=%d"
+              (geti "replayed")
+              (geti "journal_quarantined")
+              (geti "restarts") (geti "mem_shed"))
+  in
   Server.stop srv;
   Thread.join runner;
   (* Cold baseline: one full nascentc process per compile. The binary
@@ -291,6 +308,7 @@ let run_service () =
      %!"
     (1000.0 *. warm_mean) (1000.0 *. warm_min) warm_n (1000.0 *. cold_mean)
     (1000.0 *. cold_min) cold_n (cold_mean /. warm_mean);
+  Printf.printf "service robustness counters: %s\n%!" robustness_line;
   let json =
     Printf.sprintf
       "{\n\

@@ -36,6 +36,7 @@ module B = Nascent_benchmarks.Suite
 module Json = Nascent_support.Json
 module Client = Nascent_support.Server.Client
 module Retry = Nascent_support.Retry
+module Guard = Nascent_support.Guard
 open Cmdliner
 
 (* Batch runs die on SIGINT/SIGTERM with a distinct exit code, so a
@@ -659,6 +660,27 @@ let cmd_client =
       & info [ "seed" ] ~docv:"N"
           ~doc:"Backoff jitter seed (deterministic per seed and attempt).")
   in
+  let max_wait_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-wait-ms" ] ~docv:"MS"
+          ~doc:
+            "Total elapsed budget across all retry attempts: riding through \
+             a supervised daemon restart keeps retrying, but never waits \
+             longer than $(docv) in total. Exhaustion exits 7 like any \
+             retries-exhausted failure. Omitted: only --retries bounds the \
+             schedule.")
+  in
+  let client_stats_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the response JSON (status counters included for \
+             --status) to $(docv), atomically.")
+  in
   let exit_of_response resp =
     match Json.str_member "status" resp with
     | Some "error" ->
@@ -679,7 +701,8 @@ let cmd_client =
         else if Json.int_member "code" resp = Some 4 then 4
         else 0
   in
-  let run file socket status burn config want_run deadline_ms retries seed =
+  let run file socket status burn config want_run deadline_ms retries seed
+      max_wait_ms stats_json =
     let req_fields =
       if status then Some [ ("op", Json.Str "status") ]
       else if burn then Some [ ("op", Json.Str "burn") ]
@@ -723,9 +746,17 @@ let cmd_client =
         in
         let req = Json.Obj ((("id", Json.Str "cli") :: fields) @ deadline) in
         let policy = { Retry.default with Retry.max_attempts = max 1 retries } in
-        (match Client.request_retry ~policy ~seed socket req with
+        let max_elapsed_s =
+          Option.map (fun ms -> float_of_int (max 0 ms) /. 1000.0) max_wait_ms
+        in
+        (match Client.request_retry ~policy ?max_elapsed_s ~seed socket req with
         | Ok resp ->
             Fmt.pr "%s@." (Json.to_string resp);
+            (match stats_json with
+            | None -> ()
+            | Some path -> (
+                try Guard.write_atomic ~path (Json.to_string resp ^ "\n")
+                with Sys_error msg -> Fmt.epr "nascentc: --stats-json: %s@." msg));
             exit_of_response resp
         | Error msg ->
             Fmt.epr "nascentc: %s@." msg;
@@ -734,7 +765,8 @@ let cmd_client =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run $ file_opt_arg $ socket_arg $ status_arg $ burn_arg
-      $ config_term $ run_flag_arg $ deadline_arg $ retries_arg $ seed_arg)
+      $ config_term $ run_flag_arg $ deadline_arg $ retries_arg $ seed_arg
+      $ max_wait_arg $ client_stats_arg)
 
 let cmd_list =
   let doc = "List the built-in benchmark programs." in

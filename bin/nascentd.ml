@@ -8,13 +8,31 @@
    wall-clock deadlines, a per-scheme circuit breaker and a
    content-addressed result cache.
 
+   Crash durability (PR 5): with --journal-dir every admitted request
+   is written to an fsync'd journal before a worker touches it and
+   replayed on the next start, so kill -9 loses zero admitted work;
+   breaker state and service counters are snapshotted to --state-file
+   and restored; --supervise forks the serving process and restarts it
+   on abnormal exit with capped backoff; NASCENT_MEM_BUDGET /
+   --mem-budget-mb arms the Guard memory watchdog (shed admissions
+   under pressure, abort the offending request over budget). The
+   journal directory and any shared NASCENT_CACHE_DIR are protected by
+   advisory locks: a second daemon on the same directories refuses to
+   start with a clear error.
+
    SIGTERM / SIGINT request a graceful drain: the listener closes, new
    requests are shed with a retryable "shutting-down" error, every
    already-admitted request is finished and answered, then the daemon
-   exits 0. Talk to it with `nascentc client --connect SOCK ...`. *)
+   exits 0 (the supervisor passes both signals through to the serving
+   child). Talk to it with `nascentc client --connect SOCK ...`. *)
 
 module Server = Nascent_support.Server
 module Service = Nascent_harness.Service
+module Journal = Nascent_support.Journal
+module Guard = Nascent_support.Guard
+module Memo = Nascent_support.Memo
+module Retry = Nascent_support.Retry
+module Mclock = Nascent_support.Mclock
 open Cmdliner
 
 let default_socket () =
@@ -29,6 +47,11 @@ let default_queue_depth () =
       | Some n when n > 0 -> n
       | _ -> 64)
   | None -> 64
+
+let default_journal_dir () =
+  match Sys.getenv_opt "NASCENT_JOURNAL_DIR" with
+  | Some s when String.trim s <> "" -> Some s
+  | _ -> None
 
 let socket_arg =
   Arg.(
@@ -97,14 +120,66 @@ let cooldown_arg =
     & info [ "breaker-cooldown-ms" ] ~docv:"MS"
         ~doc:"Cooldown before a tripped breaker lets one probe through.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) (default_journal_dir ())
+    & info [ "journal-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write-ahead journal directory: every admitted request is recorded \
+           (fsync'd) before compiling and replayed on the next start, so \
+           $(b,kill -9) loses zero admitted work. The directory is created \
+           and advisory-locked (one daemon per journal). Defaults to \
+           $(b,NASCENT_JOURNAL_DIR); unset disables journaling.")
+
+let state_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-file" ] ~docv:"FILE"
+        ~doc:
+          "Snapshot file for breaker states and service counters, written \
+           atomically after every compile and restored on start (a tripped \
+           scheme stays routed to the NI floor across a restart). Defaults \
+           to $(b,DIR/state.json) when $(b,--journal-dir) is set, otherwise \
+           off.")
+
+let mem_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-budget-mb" ] ~docv:"MB"
+        ~doc:
+          "Major-heap budget for the memory watchdog: past 80% new \
+           admissions are shed as retryable \"overloaded\", past 100% the \
+           request that crossed it is aborted with a recorded \
+           \"mem-pressure\" incident instead of letting the OS OOM-kill the \
+           daemon. Defaults to $(b,NASCENT_MEM_BUDGET) (MB); $(docv) <= 0 \
+           or unset disables the watchdog.")
+
+let supervise_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "supervise" ]
+        ~doc:
+          "Fork the serving process and restart it on abnormal exit with \
+           capped exponential backoff (SIGTERM/SIGINT are passed through \
+           for a clean drain; a clean exit ends supervision). Combined with \
+           $(b,--journal-dir), a crashed server's admitted work is replayed \
+           by its replacement.")
+
 let trace_arg =
   Arg.(
     value
     & flag
     & info [ "trace" ] ~doc:"Log server lifecycle events to stderr.")
 
-let run_daemon socket jobs queue_depth deadline_ms request_fuel threshold
-    cooldown_ms trace =
+(* The serving process proper: lock shared directories, open the
+   journal, arm the watchdog, restore state, serve. [restarts] is the
+   supervisor's restart count, echoed in the status op. *)
+let serve ~restarts socket jobs queue_depth deadline_ms request_fuel threshold
+    cooldown_ms trace journal_dir state_file mem_budget_mb =
   if trace then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -119,41 +194,178 @@ let run_daemon socket jobs queue_depth deadline_ms request_fuel threshold
                       | _ -> 2)
         | None -> 2)
   in
-  let cfg =
-    {
-      Server.socket_path = socket;
-      jobs;
-      queue_depth = max 1 queue_depth;
-      default_deadline_s =
-        (if deadline_ms <= 0 then None
-         else Some (float_of_int deadline_ms /. 1000.0));
-      request_fuel = (if request_fuel <= 0 then None else Some request_fuel);
-    }
+  let mem_bytes =
+    match mem_budget_mb with
+    | Some mb when mb > 0 -> Some (mb * 1024 * 1024)
+    | Some _ -> None
+    | None -> Guard.mem_budget_from_env ()
   in
-  let service =
-    Service.create ~breaker_threshold:(max 1 threshold)
-      ~breaker_cooldown_s:(float_of_int (max 0 cooldown_ms) /. 1000.0)
-      ()
+  Guard.set_mem_budget ~bytes:mem_bytes ();
+  (* One daemon per shared disk cache: quarantine eviction and entry
+     rewrites must not race another process. *)
+  let cache_lock =
+    match Memo.env_disk_dir () with
+    | None -> Ok None
+    | Some dir -> (
+        match Guard.lock_dir ~dir with
+        | Ok l -> Ok (Some l)
+        | Error e -> Error (Printf.sprintf "cache %s" e))
   in
-  let server = Server.create cfg (Service.handler service) in
-  (* Graceful drain on either termination signal: stop is lock-free and
-     signal-safe; run returns once every admitted request is answered. *)
-  let on_signal _ = Server.stop server in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-  (* A client vanishing mid-response must not kill the daemon. *)
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  Fmt.epr "nascentd: listening on %s (jobs=%d queue=%d deadline=%s fuel=%s)@."
-    socket jobs cfg.Server.queue_depth
-    (match cfg.Server.default_deadline_s with
-    | None -> "none"
-    | Some s -> Fmt.str "%gs" s)
-    (match cfg.Server.request_fuel with
-    | None -> "none"
-    | Some f -> string_of_int f);
-  Server.run server;
-  Fmt.epr "nascentd: drained, exiting@.";
-  0
+  match cache_lock with
+  | Error e ->
+      Fmt.epr "nascentd: %s@." e;
+      1
+  | Ok _cache_lock -> (
+      let journal =
+        match journal_dir with
+        | None -> Ok None
+        | Some dir -> (
+            match Journal.openj ~dir () with
+            | Ok j -> Ok (Some j)
+            | Error e -> Error e)
+      in
+      match journal with
+      | Error e ->
+          Fmt.epr "nascentd: %s@." e;
+          1
+      | Ok journal ->
+          let state_path =
+            match (state_file, journal_dir) with
+            | Some p, _ -> Some p
+            | None, Some dir -> Some (Filename.concat dir "state.json")
+            | None, None -> None
+          in
+          let cfg =
+            {
+              Server.socket_path = socket;
+              jobs;
+              queue_depth = max 1 queue_depth;
+              default_deadline_s =
+                (if deadline_ms <= 0 then None
+                 else Some (float_of_int deadline_ms /. 1000.0));
+              request_fuel = (if request_fuel <= 0 then None else Some request_fuel);
+              journal;
+              restarts;
+            }
+          in
+          let service =
+            Service.create ~breaker_threshold:(max 1 threshold)
+              ~breaker_cooldown_s:(float_of_int (max 0 cooldown_ms) /. 1000.0)
+              ?state_path ()
+          in
+          let server = Server.create cfg (Service.handler service) in
+          (* Graceful drain on either termination signal: stop is
+             lock-free and signal-safe; run returns once every admitted
+             request is answered. *)
+          let on_signal _ = Server.stop server in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+          (* A client vanishing mid-response must not kill the daemon. *)
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          Fmt.epr
+            "nascentd: listening on %s (jobs=%d queue=%d deadline=%s fuel=%s \
+             journal=%s mem=%s restarts=%d)@."
+            socket jobs cfg.Server.queue_depth
+            (match cfg.Server.default_deadline_s with
+            | None -> "none"
+            | Some s -> Fmt.str "%gs" s)
+            (match cfg.Server.request_fuel with
+            | None -> "none"
+            | Some f -> string_of_int f)
+            (match journal_dir with None -> "off" | Some d -> d)
+            (match mem_bytes with
+            | None -> "off"
+            | Some b -> Fmt.str "%dMB" (b / (1024 * 1024)))
+            restarts;
+          Server.run server;
+          Fmt.epr "nascentd: drained, exiting@.";
+          0)
+
+(* The supervisor: fork before any domain or thread exists, wait,
+   restart on abnormal exit. Backoff is Retry's capped exponential
+   schedule; a child that stayed up for a healthy stretch resets the
+   attempt counter, so a daemon that crashes once a day never waits
+   long, while a crash loop backs off to the cap. *)
+let supervisor_policy =
+  {
+    Retry.max_attempts = max_int;
+    base_delay_s = 0.1;
+    multiplier = 2.0;
+    max_delay_s = 5.0;
+    jitter = 0.1;
+  }
+
+let healthy_uptime_s = 10.0
+
+let supervise serve_child =
+  let draining = ref false in
+  let child = ref None in
+  let forward signal =
+    match !child with
+    | Some pid -> ( try Unix.kill pid signal with Unix.Unix_error _ -> ())
+    | None -> ()
+  in
+  let on_signal signal _ =
+    draining := true;
+    forward signal
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (on_signal Sys.sigterm));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (on_signal Sys.sigint));
+  let describe = function
+    | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+    | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+    | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+  in
+  let rec loop ~restarts ~attempt =
+    if !draining then 0
+    else begin
+      let born = Mclock.counter () in
+      match Unix.fork () with
+      | 0 -> exit (serve_child ~restarts)
+      | pid ->
+          child := Some pid;
+          Fmt.epr "nascentd[supervisor]: serving pid %d (restarts=%d)@." pid restarts;
+          (* A signal that landed between fork and the assignment above
+             set [draining] but had no child to forward to. *)
+          if !draining then forward Sys.sigterm;
+          let rec wait_child () =
+            match Unix.waitpid [] pid with
+            | _, status -> status
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_child ()
+          in
+          let status = wait_child () in
+          child := None;
+          let uptime = Mclock.elapsed_s born in
+          if status = Unix.WEXITED 0 then begin
+            Fmt.epr "nascentd[supervisor]: clean exit, ending supervision@.";
+            0
+          end
+          else if !draining then begin
+            Fmt.epr "nascentd[supervisor]: child ended during drain (%s)@."
+              (describe status);
+            match status with Unix.WEXITED n -> n | _ -> 1
+          end
+          else begin
+            let attempt = if uptime >= healthy_uptime_s then 1 else attempt + 1 in
+            let delay = Retry.delay_s supervisor_policy ~seed:restarts ~attempt in
+            Fmt.epr
+              "nascentd[supervisor]: serving process died (%s) after %.1fs; \
+               restarting in %.2fs@."
+              (describe status) uptime delay;
+            Unix.sleepf delay;
+            loop ~restarts:(restarts + 1) ~attempt
+          end
+    end
+  in
+  loop ~restarts:0 ~attempt:0
+
+let run_daemon socket jobs queue_depth deadline_ms request_fuel threshold
+    cooldown_ms trace journal_dir state_file mem_budget_mb supervise_flag =
+  let serve_child ~restarts =
+    serve ~restarts socket jobs queue_depth deadline_ms request_fuel threshold
+      cooldown_ms trace journal_dir state_file mem_budget_mb
+  in
+  if supervise_flag then supervise serve_child else serve_child ~restarts:0
 
 let () =
   let doc = "range-check compile service (Kolte & Wolfe, PLDI 1995)" in
@@ -161,6 +373,7 @@ let () =
   let term =
     Term.(
       const run_daemon $ socket_arg $ jobs_arg $ queue_arg $ deadline_arg
-      $ fuel_arg $ threshold_arg $ cooldown_arg $ trace_arg)
+      $ fuel_arg $ threshold_arg $ cooldown_arg $ trace_arg $ journal_arg
+      $ state_arg $ mem_arg $ supervise_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

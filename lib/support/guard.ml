@@ -22,6 +22,7 @@
 
 exception Fuel_exhausted of string
 exception Deadline_exceeded of string
+exception Mem_exceeded of string
 
 type fuel = { what : string; mutable remaining : int }
 
@@ -42,6 +43,80 @@ let expired d = Mclock.elapsed_s d.started > d.budget_s
 let remaining_s d = Float.max 0.0 (d.budget_s -. Mclock.elapsed_s d.started)
 
 let check d = if expired d then raise (Deadline_exceeded d.dwhat)
+
+(* --- memory watchdog --------------------------------------------------- *)
+
+(* The budget bounds the major heap (in bytes) of the whole process. A
+   Gc alarm — run at the end of every major collection, on whichever
+   domain finished it — samples the heap and sets [mem_over]; the
+   ambient ticking reads that one atomic flag (cheap) and only
+   re-samples when it is set, so a collection that freed enough memory
+   clears the flag instead of killing the next request. Budget 0 means
+   "no budget installed". *)
+
+let word_bytes = Sys.word_size / 8
+let mem_budget_bytes = Atomic.make 0
+let mem_shed_permille = Atomic.make 800
+let mem_over = Atomic.make false
+let mem_alarm_installed = Atomic.make false
+
+let mem_heap_bytes () = (Gc.quick_stat ()).Gc.heap_words * word_bytes
+
+let mem_sample_over () =
+  let b = Atomic.get mem_budget_bytes in
+  b > 0 && mem_heap_bytes () >= b
+
+let set_mem_budget ?(shed_fraction = 0.8) ~bytes () =
+  let permille =
+    int_of_float (1000.0 *. Float.min 1.0 (Float.max 0.0 shed_fraction))
+  in
+  Atomic.set mem_shed_permille permille;
+  (match bytes with
+  | None ->
+      Atomic.set mem_budget_bytes 0;
+      Atomic.set mem_over false
+  | Some b ->
+      Atomic.set mem_budget_bytes (max 1 b);
+      Atomic.set mem_over (mem_sample_over ());
+      if not (Atomic.exchange mem_alarm_installed true) then
+        ignore
+          (Gc.create_alarm (fun () -> Atomic.set mem_over (mem_sample_over ()))))
+
+let mem_budget () =
+  match Atomic.get mem_budget_bytes with 0 -> None | b -> Some b
+
+let mem_level () =
+  let b = Atomic.get mem_budget_bytes in
+  if b = 0 then `Ok
+  else begin
+    let h = mem_heap_bytes () in
+    if h >= b then begin
+      Atomic.set mem_over true;
+      `Over
+    end
+    else begin
+      if Atomic.get mem_over then Atomic.set mem_over false;
+      if h * 1000 >= b * Atomic.get mem_shed_permille then `Pressure else `Ok
+    end
+  end
+
+let mem_budget_from_env () =
+  match Sys.getenv_opt "NASCENT_MEM_BUDGET" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some mb when mb > 0 -> Some (mb * 1024 * 1024)
+      | _ -> None)
+
+let check_mem () =
+  if Atomic.get mem_over then begin
+    if mem_sample_over () then
+      raise
+        (Mem_exceeded
+           (Printf.sprintf "major heap %d bytes over budget %d" (mem_heap_bytes ())
+              (Atomic.get mem_budget_bytes)))
+    else Atomic.set mem_over false
+  end
 
 (* The ambient state is per-domain: pool workers each carry their own,
    so one task's budget never charges another's. Deadlines are checked
@@ -73,6 +148,7 @@ let check_deadlines () = List.iter check (Domain.DLS.get ambient).deadlines
 let tick_ambient () =
   let st = Domain.DLS.get ambient in
   List.iter tick st.fuels;
+  check_mem ();
   match st.deadlines with
   | [] -> ()
   | ds ->
@@ -103,3 +179,75 @@ let write_atomic ~path contents =
   | exception e ->
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
+
+(* --- advisory directory locks ------------------------------------------ *)
+
+(* One daemon per shared on-disk directory (memo cache, journal). The
+   lock is a POSIX record lock ([Unix.lockf], fcntl underneath) on a
+   [.nascent-lock] file inside the directory: the kernel releases it
+   even on [kill -9], so a restarted daemon can always reacquire, while
+   a concurrently *running* second daemon is refused with a clear
+   error. fcntl locks never conflict within one process, so a
+   process-local registry backs them up — a double acquire in the same
+   process is refused too. *)
+
+type dir_lock = { lkey : string; lfd : Unix.file_descr }
+
+let locked_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+let locked_dirs_mutex = Mutex.create ()
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let lock_file_name = ".nascent-lock"
+
+let forget_dir key =
+  Mutex.lock locked_dirs_mutex;
+  Hashtbl.remove locked_dirs key;
+  Mutex.unlock locked_dirs_mutex
+
+let lock_dir ~dir =
+  match mkdir_p dir with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot create %s: %s" dir (Unix.error_message e))
+  | () -> (
+      let key = try Unix.realpath dir with Unix.Unix_error _ -> dir in
+      Mutex.lock locked_dirs_mutex;
+      let dup = Hashtbl.mem locked_dirs key in
+      if not dup then Hashtbl.replace locked_dirs key ();
+      Mutex.unlock locked_dirs_mutex;
+      if dup then
+        Error (Printf.sprintf "%s is already locked by this process" dir)
+      else
+        let path = Filename.concat dir lock_file_name in
+        match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 with
+        | exception Unix.Unix_error (e, _, _) ->
+            forget_dir key;
+            Error (Printf.sprintf "cannot open %s: %s" path (Unix.error_message e))
+        | fd -> (
+            match Unix.lockf fd Unix.F_TLOCK 0 with
+            | () ->
+                (* Best-effort pid breadcrumb for post-mortems. *)
+                (try
+                   ignore (Unix.ftruncate fd 0);
+                   let pid = string_of_int (Unix.getpid ()) ^ "\n" in
+                   ignore (Unix.write_substring fd pid 0 (String.length pid))
+                 with Unix.Unix_error _ -> ());
+                Ok { lkey = key; lfd = fd }
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EACCES), _, _) ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                forget_dir key;
+                Error
+                  (Printf.sprintf "%s is locked by another process (another daemon?)" dir)
+            | exception Unix.Unix_error (e, _, _) ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                forget_dir key;
+                Error (Printf.sprintf "cannot lock %s: %s" path (Unix.error_message e))))
+
+let unlock_dir l =
+  forget_dir l.lkey;
+  (try Unix.lockf l.lfd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+  try Unix.close l.lfd with Unix.Unix_error _ -> ()

@@ -17,6 +17,11 @@ exception Deadline_exceeded of string
 (** Raised by the ambient deadline check when a wall-clock budget runs
     out; the payload names the deadline ([what]). *)
 
+exception Mem_exceeded of string
+(** Raised by {!tick_ambient} when the process-wide memory budget (see
+    {!set_mem_budget}) is exceeded; the payload describes heap vs
+    budget. *)
+
 type fuel
 
 val fuel : what:string -> budget:int -> fuel
@@ -80,6 +85,39 @@ val exhaust_ambient : unit -> 'a
     deadline is installed). @raise Deadline_exceeded when an ambient
     deadline fires first. *)
 
+(** {2 Memory watchdog}
+
+    A process-wide major-heap budget for the compile daemon: a [Gc]
+    alarm samples the heap after every major collection and sets an
+    atomic flag; {!tick_ambient} reads the flag (one atomic load on
+    the hot path) and raises {!Mem_exceeded} from whatever request is
+    ticking once the heap is over budget — degrading that one request
+    instead of letting the OS OOM-kill the daemon. {!mem_level} is the
+    admission-side view: the server sheds new work at [`Pressure]
+    (default 80% of the budget) before any request has to die. *)
+
+val set_mem_budget : ?shed_fraction:float -> bytes:int option -> unit -> unit
+(** Install ([Some bytes]) or remove ([None]) the process-wide
+    major-heap budget. [shed_fraction] (default [0.8], clamped to
+    [0, 1]) sets the fraction of the budget at which {!mem_level}
+    starts reporting [`Pressure]. Idempotent; safe to call again to
+    resize. *)
+
+val mem_budget : unit -> int option
+(** The installed budget in bytes, if any. *)
+
+val mem_level : unit -> [ `Ok | `Pressure | `Over ]
+(** Fresh sample of the major heap against the budget: [`Ok] (or no
+    budget installed), [`Pressure] past [shed_fraction * budget],
+    [`Over] past the budget itself. Never raises. *)
+
+val mem_heap_bytes : unit -> int
+(** Current major-heap size in bytes ([Gc.quick_stat], cheap). *)
+
+val mem_budget_from_env : unit -> int option
+(** [NASCENT_MEM_BUDGET] (megabytes, positive integer) as a byte
+    budget; [None] when unset or unparseable. *)
+
 (** {2 Atomic writes} *)
 
 val write_atomic : path:string -> string -> unit
@@ -87,3 +125,25 @@ val write_atomic : path:string -> string -> unit
     and an atomic [rename]: readers see either the old file or the
     complete new one, never a torn write. Raises as [Out_channel] /
     [Sys.rename] do (the temp file is removed on failure). *)
+
+(** {2 Advisory directory locks}
+
+    One daemon per shared on-disk directory (memo cache, journal
+    directory). The lock is a POSIX record lock on
+    [<dir>/.nascent-lock]: released by the kernel even on [kill -9]
+    (so a restarted daemon always reacquires), refused with a clear
+    error while another process holds it. A process-local registry
+    backs up fcntl's no-self-conflict semantics, so a second acquire
+    from the same process is refused too. *)
+
+type dir_lock
+
+val lock_dir : dir:string -> (dir_lock, string) result
+(** Create [dir] if needed and take the exclusive advisory lock.
+    [Error] carries a human-readable reason (already locked by this or
+    another process, permission failure, ...) and leaves nothing
+    held. *)
+
+val unlock_dir : dir_lock -> unit
+(** Release the lock and close its fd. Idempotent in effect: errors on
+    release are swallowed. *)

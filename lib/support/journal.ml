@@ -1,0 +1,214 @@
+(* Append-only request journal: the daemon's write-ahead log.
+
+   One record per line:
+
+     NJ1 <32-hex md5(body)> <body>\n
+
+   with body either "A <seq> <payload>" (admitted) or "D <seq>"
+   (done). The digest makes every record self-verifying — the same
+   discipline as Memo's digest-checked disk entries — so recovery
+   never has to trust a line a crash may have torn: a record that
+   fails the check is copied to <dir>/quarantine.log and skipped.
+   Appends are fsync'd before [append] returns (the admission path
+   waits on durability); the opening scan and periodic online
+   compaction rewrite the log to pending-only records through
+   [Guard.write_atomic]. The directory lock ([Guard.lock_dir]) is held
+   for the journal's lifetime, so two live daemons cannot share one
+   journal — while a kill -9'd daemon's lock is released by the
+   kernel, letting its successor recover. *)
+
+type entry = { seq : int; payload : string }
+
+type t = {
+  dir : string;
+  log_path : string;
+  mutable fd : Unix.file_descr;
+  fsync : bool;
+  lock : Mutex.t;
+  dlock : Guard.dir_lock;
+  pending_tbl : (int, string) Hashtbl.t;
+  mutable next_seq : int;
+  mutable quarantined : int;
+  mutable dones_since_compact : int;
+}
+
+let magic = "NJ1"
+let digest_hex_len = 32
+let compact_every = 512 (* done-markers between online compactions *)
+
+let record_line body =
+  Printf.sprintf "%s %s %s\n" magic (Digest.to_hex (Digest.string body)) body
+
+let admit_body seq payload = Printf.sprintf "A %d %s" seq payload
+let done_body seq = Printf.sprintf "D %d" seq
+
+(* [line] has no trailing newline. *)
+let parse_line line =
+  let mlen = String.length magic in
+  let body_off = mlen + 1 + digest_hex_len + 1 in
+  if String.length line < body_off + 1 then `Bad
+  else if not (String.sub line 0 mlen = magic && line.[mlen] = ' ') then `Bad
+  else if line.[mlen + 1 + digest_hex_len] <> ' ' then `Bad
+  else
+    let hex = String.sub line (mlen + 1) digest_hex_len in
+    let body = String.sub line body_off (String.length line - body_off) in
+    if Digest.to_hex (Digest.string body) <> hex then `Bad
+    else if String.length body >= 2 && body.[0] = 'D' && body.[1] = ' ' then
+      match int_of_string_opt (String.sub body 2 (String.length body - 2)) with
+      | Some seq -> `Done seq
+      | None -> `Bad
+    else if String.length body >= 2 && body.[0] = 'A' && body.[1] = ' ' then
+      match String.index_from_opt body 2 ' ' with
+      | None -> `Bad
+      | Some sp -> (
+          match int_of_string_opt (String.sub body 2 (sp - 2)) with
+          | Some seq ->
+              `Admit (seq, String.sub body (sp + 1) (String.length body - sp - 1))
+          | None -> `Bad)
+    else `Bad
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let quarantine_record t fragment =
+  t.quarantined <- t.quarantined + 1;
+  try
+    Out_channel.with_open_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644
+      (Filename.concat t.dir "quarantine.log")
+      (fun oc ->
+        Out_channel.output_string oc fragment;
+        Out_channel.output_char oc '\n')
+  with Sys_error _ -> ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let pending_locked t =
+  Hashtbl.fold (fun seq payload acc -> { seq; payload } :: acc) t.pending_tbl []
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+(* Rewrite the log to pending-only records and reopen the append fd.
+   Atomic: readers of a crashed compaction see either the old log or
+   the complete new one. *)
+let compact_locked t =
+  let contents =
+    pending_locked t
+    |> List.map (fun e -> record_line (admit_body e.seq e.payload))
+    |> String.concat ""
+  in
+  Guard.write_atomic ~path:t.log_path contents;
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.fd <- Unix.openfile t.log_path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CLOEXEC ] 0o644;
+  if t.fsync then Unix.fsync t.fd;
+  t.dones_since_compact <- 0
+
+let openj ?(fsync = true) ~dir () =
+  match Guard.lock_dir ~dir with
+  | Error e -> Error ("journal: " ^ e)
+  | Ok dlock -> (
+      let log_path = Filename.concat dir "journal.log" in
+      let raw =
+        if Sys.file_exists log_path then
+          try Ok (In_channel.with_open_bin log_path In_channel.input_all)
+          with Sys_error e -> Error ("journal: cannot read " ^ log_path ^ ": " ^ e)
+        else Ok ""
+      in
+      match raw with
+      | Error _ as e ->
+          Guard.unlock_dir dlock;
+          e
+      | Ok raw -> (
+          match
+            Unix.openfile log_path
+              [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ]
+              0o644
+          with
+          | exception e ->
+              Guard.unlock_dir dlock;
+              Error ("journal: cannot open " ^ log_path ^ ": " ^ Printexc.to_string e)
+          | fd0 -> (
+          let t =
+            {
+              dir;
+              log_path;
+              fd = fd0 (* replaced by compaction below *);
+              fsync;
+              lock = Mutex.create ();
+              dlock;
+              pending_tbl = Hashtbl.create 32;
+              next_seq = 1;
+              quarantined = 0;
+              dones_since_compact = 0;
+            }
+          in
+          (* Scan every newline-terminated record; a trailing fragment
+             without its newline is a torn final append. Digest
+             verification catches torn and corrupt lines alike; all go
+             to quarantine.log and the scan continues. *)
+          let n = String.length raw in
+          let pos = ref 0 in
+          while !pos < n do
+            match String.index_from_opt raw !pos '\n' with
+            | None ->
+                quarantine_record t (String.sub raw !pos (n - !pos));
+                pos := n
+            | Some nl ->
+                let line = String.sub raw !pos (nl - !pos) in
+                (if line <> "" then
+                   match parse_line line with
+                   | `Admit (seq, payload) ->
+                       Hashtbl.replace t.pending_tbl seq payload;
+                       if seq >= t.next_seq then t.next_seq <- seq + 1
+                   | `Done seq ->
+                       Hashtbl.remove t.pending_tbl seq;
+                       if seq >= t.next_seq then t.next_seq <- seq + 1
+                   | `Bad -> quarantine_record t line);
+                pos := nl + 1
+          done;
+          match compact_locked t with
+          | () -> Ok t
+          | exception e ->
+              (try Unix.close t.fd with Unix.Unix_error _ -> ());
+              Guard.unlock_dir dlock;
+              Error ("journal: cannot write " ^ log_path ^ ": " ^ Printexc.to_string e))))
+
+let append t payload =
+  if String.contains payload '\n' then
+    invalid_arg "Journal.append: payload contains a newline";
+  locked t @@ fun () ->
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  write_all t.fd (record_line (admit_body seq payload));
+  if t.fsync then Unix.fsync t.fd;
+  Hashtbl.replace t.pending_tbl seq payload;
+  seq
+
+let mark_done t seq =
+  locked t @@ fun () ->
+  if Hashtbl.mem t.pending_tbl seq then begin
+    Hashtbl.remove t.pending_tbl seq;
+    write_all t.fd (record_line (done_body seq));
+    if t.fsync then Unix.fsync t.fd;
+    t.dones_since_compact <- t.dones_since_compact + 1;
+    if t.dones_since_compact >= compact_every then compact_locked t
+  end
+
+let pending t = locked t @@ fun () -> pending_locked t
+let pending_count t = locked t @@ fun () -> Hashtbl.length t.pending_tbl
+let quarantined t = locked t @@ fun () -> t.quarantined
+let compact t = locked t @@ fun () -> compact_locked t
+
+let close t =
+  locked t (fun () ->
+      (try compact_locked t with _ -> ());
+      try Unix.close t.fd with Unix.Unix_error _ -> ());
+  Guard.unlock_dir t.dlock

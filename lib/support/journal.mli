@@ -1,0 +1,66 @@
+(** Append-only request journal — the compile daemon's write-ahead log.
+
+    The server appends every {e admitted} request before a worker
+    touches it and marks the entry done after the response is written;
+    on startup the daemon replays the entries that were admitted but
+    never finished through the Memo-backed (idempotent) compile path.
+    [kill -9] mid-batch therefore loses zero admitted work: every
+    surviving client retries its connection and either hits the warm
+    memo (the request was replayed) or is recomputed identically.
+
+    Durability discipline (shared with [Memo]'s disk store and
+    [Guard.write_atomic]):
+    - every record is a single line carrying an MD5 digest of its
+      body, verified on read; a torn or corrupt record — only the
+      trailing one can be torn by a crash, but any corrupt line is
+      handled — is quarantined to [<dir>/quarantine.log] and skipped,
+      never fatal;
+    - appends go to an [O_APPEND] fd and are [fsync]'d by default, so
+      an admitted request's record survives the process;
+    - compaction (startup, and periodically online) rewrites the log
+      to pending-only records via [Guard.write_atomic];
+    - the journal directory is protected by an advisory
+      {!Guard.lock_dir}, so two daemons can never replay (or append
+      to) the same journal. *)
+
+type t
+
+type entry = { seq : int; payload : string }
+(** An admitted-but-unfinished record: [seq] is the admission order
+    (monotonic within and across reopens), [payload] the single-line
+    string handed to {!append} (the server stores the request JSON). *)
+
+val openj : ?fsync:bool -> dir:string -> unit -> (t, string) result
+(** Open (creating [dir] and the log as needed) and recover the
+    journal at [<dir>/journal.log]. Scans the log, quarantines
+    torn/corrupt records, drops records whose done-marker is present,
+    and compacts the file to the surviving pending records. [Error]
+    when the directory lock is held (another live daemon) or on an
+    unrecoverable filesystem error. [?fsync] (default [true]) may be
+    disabled for tests that hammer the journal. *)
+
+val append : t -> string -> int
+(** Record an admitted request; returns its sequence number. Blocks
+    until the record is on disk (write + fsync). [payload] must be a
+    single line. @raise Invalid_argument if it contains a newline. *)
+
+val mark_done : t -> int -> unit
+(** Record that entry [seq] was fully answered. A no-op for a seq
+    already done (or never admitted) — replaying an already-done entry
+    is harmless. Triggers an online compaction every few hundred
+    completions so the log does not grow without bound. *)
+
+val pending : t -> entry list
+(** Admitted-but-unfinished entries, in admission (seq) order. *)
+
+val pending_count : t -> int
+
+val quarantined : t -> int
+(** Records dropped to [<dir>/quarantine.log] by the opening scan. *)
+
+val compact : t -> unit
+(** Rewrite the log to pending-only records now (atomic). *)
+
+val close : t -> unit
+(** Compact, release the directory lock and close the log fd. The [t]
+    must not be used afterwards. *)

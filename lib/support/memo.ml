@@ -31,6 +31,8 @@ let disk_dir_from_env () =
       | Some ("1" | "true" | "on") -> Some default_disk_dir
       | _ -> None)
 
+let env_disk_dir = disk_dir_from_env
+
 let default_quarantine_max = 64
 
 let quarantine_max_from_env () =

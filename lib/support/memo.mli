@@ -28,6 +28,13 @@ val key : string list -> string
 (** Digest a list of key components (order-sensitive, injective for
     component lists free of ['\000']). *)
 
+val env_disk_dir : unit -> string option
+(** The disk-store directory the environment selects —
+    [NASCENT_CACHE_DIR], or the default [_build/.nascent-cache] under
+    [NASCENT_CACHE=1] — or [None] when the disk store is off. The
+    daemon uses this to take an advisory {!Guard.lock_dir} on a cache
+    shared between processes. *)
+
 val create : ?disk_dir:string -> ?quarantine_max:int -> name:string -> unit -> 'v t
 (** [create ~name ()] makes an in-memory memo. The disk store is
     enabled by [~disk_dir], or — when the argument is omitted — by the

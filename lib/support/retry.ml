@@ -43,14 +43,33 @@ let delay_s p ~seed ~attempt =
 
 type 'a outcome = Ok_after of int * 'a | Gave_up of int * string
 
-let run ?(sleep = fun s -> if s > 0.0 then Unix.sleepf s) ?(policy = default) ~seed f =
+let run ?(sleep = fun s -> if s > 0.0 then Unix.sleepf s) ?(policy = default) ?max_elapsed_s
+    ?clock ~seed f =
   let attempts = max 1 policy.max_attempts in
+  (* The elapsed budget caps the whole schedule, not one attempt: with
+     it, retry-through-a-daemon-restart cannot wait unboundedly even
+     under a generous max_attempts. [?clock] is injectable for tests;
+     the default reads the monotonic clock. *)
+  let elapsed =
+    match clock with
+    | Some now ->
+        let t0 = now () in
+        fun () -> now () -. t0
+    | None ->
+        let c = Mclock.counter () in
+        fun () -> Mclock.elapsed_s c
+  in
+  let budget_spent () =
+    match max_elapsed_s with None -> false | Some b -> elapsed () >= b
+  in
   let rec go attempt =
     match f ~attempt with
     | Ok v -> Ok_after (attempt, v)
     | Error (`Fatal msg) -> Gave_up (attempt, msg)
     | Error (`Retryable msg) ->
         if attempt >= attempts then Gave_up (attempt, msg)
+        else if budget_spent () then
+          Gave_up (attempt, msg ^ " (elapsed retry budget exhausted)")
         else begin
           sleep (delay_s policy ~seed ~attempt);
           go (attempt + 1)

@@ -31,9 +31,18 @@ type 'a outcome =
 val run :
   ?sleep:(float -> unit) ->
   ?policy:policy ->
+  ?max_elapsed_s:float ->
+  ?clock:(unit -> float) ->
   seed:int ->
   (attempt:int -> ('a, [ `Retryable of string | `Fatal of string ]) result) ->
   'a outcome
 (** Run [f] until it succeeds, fails fatally, or exhausts the policy,
     sleeping {!delay_s} between retryable failures. [?sleep] defaults
-    to [Unix.sleepf] and is injectable for tests. *)
+    to [Unix.sleepf] and is injectable for tests.
+
+    [?max_elapsed_s] additionally caps the {e total} elapsed time of
+    the whole schedule: once a retryable failure lands past the
+    budget, [run] gives up instead of sleeping again, so
+    retry-through-a-restart cannot wait unboundedly however generous
+    [max_attempts] is. [?clock] (seconds, monotonic) is injectable for
+    tests and defaults to the monotonic clock. *)

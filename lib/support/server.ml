@@ -55,6 +55,10 @@ type config = {
   queue_depth : int; (* admission bound on queued requests *)
   default_deadline_s : float option; (* per-request wall budget *)
   request_fuel : int option; (* per-request Guard fuel budget *)
+  journal : Journal.t option;
+      (* write-ahead log: admitted requests are recorded before a
+         worker touches them and replayed by [run] after a crash *)
+  restarts : int; (* supervisor restart count, reported in status *)
 }
 
 let default_config ~socket_path =
@@ -64,6 +68,8 @@ let default_config ~socket_path =
     queue_depth = 64;
     default_deadline_s = Some 30.0;
     request_fuel = Some 50_000_000;
+    journal = None;
+    restarts = 0;
   }
 
 type counters = {
@@ -75,6 +81,9 @@ type counters = {
   mutable worker_restarts : int; (* escaped-exception supervisions *)
   mutable connections : int; (* lifetime accepted connections *)
   mutable accept_errors : int; (* absorbed accept(2) failures *)
+  mutable replayed : int; (* journal entries replayed at startup *)
+  mutable mem_shed : int; (* admissions shed under memory pressure *)
+  mutable mem_aborts : int; (* requests aborted by the memory watchdog *)
 }
 
 type conn = {
@@ -91,6 +100,7 @@ type job = {
   jid : Json.t;
   jreq : Json.t;
   jdeadline : Guard.deadline option;
+  jseq : int option; (* journal sequence number, when journaling *)
 }
 
 type t = {
@@ -101,6 +111,7 @@ type t = {
   nonempty : Condition.t;
   drained : Condition.t; (* queue empty and nothing in flight *)
   mutable inflight : int;
+  mutable admitting : int; (* slots reserved while journaling an admission *)
   stopping : bool Atomic.t;
   c : counters;
   started : Mclock.counter;
@@ -120,6 +131,7 @@ let create cfg handler =
     nonempty = Condition.create ();
     drained = Condition.create ();
     inflight = 0;
+    admitting = 0;
     stopping = Atomic.make false;
     c =
       {
@@ -131,6 +143,9 @@ let create cfg handler =
         worker_restarts = 0;
         connections = 0;
         accept_errors = 0;
+        replayed = 0;
+        mem_shed = 0;
+        mem_aborts = 0;
       };
     started = Mclock.counter ();
     stop_r;
@@ -244,6 +259,18 @@ let status_response t ~id =
        ("connections", Json.Int c.connections);
        ("open_connections", Json.Int open_conns);
        ("accept_errors", Json.Int c.accept_errors);
+       ("restarts", Json.Int t.cfg.restarts);
+       ("replayed", Json.Int c.replayed);
+       ( "journal_pending",
+         Json.Int
+           (match t.cfg.journal with None -> 0 | Some j -> Journal.pending_count j) );
+       ( "journal_quarantined",
+         Json.Int
+           (match t.cfg.journal with None -> 0 | Some j -> Journal.quarantined j) );
+       ("mem_shed", Json.Int c.mem_shed);
+       ("mem_aborts", Json.Int c.mem_aborts);
+       ( "mem_budget_bytes",
+         match Guard.mem_budget () with None -> Json.Null | Some b -> Json.Int b );
      ]
     @ t.handler.status_extra ())
 
@@ -280,11 +307,25 @@ let process t job =
         | exception Guard.Fuel_exhausted what ->
             locked t (fun () -> t.c.timeouts <- t.c.timeouts + 1);
             error_response ~id ~code:"deadline" ("fuel exhausted: " ^ what)
+        | exception Guard.Mem_exceeded what ->
+            (* The watchdog aborts the request that was ticking when the
+               heap crossed the budget — a recorded incident, not an OS
+               OOM-kill of the daemon. Retryable: the abort itself frees
+               memory, so a later attempt may well fit. *)
+            locked t (fun () -> t.c.mem_aborts <- t.c.mem_aborts + 1);
+            error_response ~id ~code:"mem-pressure" ~retryable:true
+              ("memory budget: " ^ what)
         | exception e ->
             locked t (fun () -> t.c.internal_errors <- t.c.internal_errors + 1);
             error_response ~id ~code:"internal" (Printexc.to_string e))
   in
-  answer job.jconn response
+  answer job.jconn response;
+  (* The answer is on the wire (or the client is gone): the journal
+     entry is complete either way — a crash after this line replays
+     nothing, a crash before it replays this request. *)
+  match (t.cfg.journal, job.jseq) with
+  | Some j, Some seq -> Journal.mark_done j seq
+  | _ -> ()
 
 let rec worker_loop t =
   Mutex.lock t.lock;
@@ -362,7 +403,7 @@ let enqueue t conn ~id req =
       (error_response ~id ~code:"shutting-down" ~retryable:true
          "server is draining; retry against a fresh instance")
   end
-  else if Queue.length t.queue >= t.cfg.queue_depth then begin
+  else if Queue.length t.queue + t.admitting >= t.cfg.queue_depth then begin
     t.c.shed <- t.c.shed + 1;
     Mutex.unlock t.lock;
     conn_release t conn;
@@ -371,12 +412,67 @@ let enqueue t conn ~id req =
          (Printf.sprintf "queue full (%d requests); back off and retry"
             t.cfg.queue_depth))
   end
+  else if Guard.mem_level () <> `Ok then begin
+    (* Memory watchdog, first line of defence: past the shed fraction
+       of NASCENT_MEM_BUDGET, refuse new work before any in-flight
+       request has to be aborted. Same contract as queue overload —
+       retryable, so clients back off. *)
+    t.c.shed <- t.c.shed + 1;
+    t.c.mem_shed <- t.c.mem_shed + 1;
+    Mutex.unlock t.lock;
+    conn_release t conn;
+    answer conn
+      (error_response ~id ~code:"overloaded" ~retryable:true
+         "memory pressure: heap near budget; back off and retry")
+  end
   else begin
     (* the deadline clock starts at admission: queue wait counts *)
-    let job = { jconn = conn; jid = id; jreq = req; jdeadline = request_deadline t req } in
-    Queue.add job t.queue;
-    Condition.signal t.nonempty;
-    Mutex.unlock t.lock
+    match t.cfg.journal with
+    | None ->
+        let job =
+          { jconn = conn; jid = id; jreq = req; jdeadline = request_deadline t req; jseq = None }
+        in
+        Queue.add job t.queue;
+        Condition.signal t.nonempty;
+        Mutex.unlock t.lock
+    | Some j ->
+        (* Journaled admission: the fsync must not run under t.lock
+           (workers take it between every job), so the queue slot is
+           reserved via [admitting] first — check-plus-add stays
+           atomic — and the stopping flag is re-checked after the
+           write: stopping is monotonic, so seeing it clear under the
+           lock here proves no worker has exited yet and the job will
+           be drained. If a stop slipped in while we were journaling,
+           the entry is marked done and the request shed exactly as if
+           it had arrived after the flag. *)
+        t.admitting <- t.admitting + 1;
+        Mutex.unlock t.lock;
+        let seq = Journal.append j (Json.to_string req) in
+        Mutex.lock t.lock;
+        t.admitting <- t.admitting - 1;
+        if stopping t then begin
+          t.c.shed <- t.c.shed + 1;
+          Mutex.unlock t.lock;
+          Journal.mark_done j seq;
+          conn_release t conn;
+          answer conn
+            (error_response ~id ~code:"shutting-down" ~retryable:true
+               "server is draining; retry against a fresh instance")
+        end
+        else begin
+          let job =
+            {
+              jconn = conn;
+              jid = id;
+              jreq = req;
+              jdeadline = request_deadline t req;
+              jseq = Some seq;
+            }
+          in
+          Queue.add job t.queue;
+          Condition.signal t.nonempty;
+          Mutex.unlock t.lock
+        end
   end
 
 let handle_line t conn line =
@@ -441,11 +537,48 @@ let listen_socket path =
   Unix.listen fd 64;
   fd
 
+(* Crash recovery: run every admitted-but-unanswered journal entry
+   through the handler before the socket binds (the socket appearing
+   IS the ready signal — clients retrying through a restart cannot
+   race the replay). The handler is idempotent (compiles are
+   memo-backed), so replaying warms the cache the crashed process lost
+   its chance to fill; the client that owned the request reconnects,
+   retries, and hits that warm entry. Replay honors each request's own
+   deadline/fuel budgets with a fresh clock — a request that hung the
+   old process cannot hang recovery — and checks [stopping] between
+   entries, so SIGTERM mid-replay drains cleanly, leaving the
+   remainder pending for the next start. *)
+let replay_journal t j =
+  List.iter
+    (fun (e : Journal.entry) ->
+      if not (stopping t) then begin
+        (match Json.parse e.Journal.payload with
+        | Error _ -> () (* checksummed at append; nothing to rescue *)
+        | Ok req -> (
+            let body () = t.handler.handle req in
+            let body =
+              match t.cfg.request_fuel with
+              | Some budget ->
+                  fun () -> Guard.with_fuel (Guard.fuel ~what:"replay" ~budget) body
+              | None -> body
+            in
+            let body =
+              match request_deadline t req with
+              | Some d -> fun () -> Guard.with_deadline d body
+              | None -> body
+            in
+            try ignore (body ()) with _ -> ()));
+        Journal.mark_done j e.Journal.seq;
+        locked t (fun () -> t.c.replayed <- t.c.replayed + 1)
+      end)
+    (Journal.pending j);
+  Journal.compact j
+
 (* Serve until [stop]: accept loop in the calling thread, one reader
    thread per connection, [cfg.jobs] worker domains. Returns after the
    drain completes: queue empty, nothing in flight, every response
    written, workers and readers joined, socket file removed. *)
-let run t =
+let run_serving t =
   let listen_fd = listen_socket t.cfg.socket_path in
   let workers = List.init t.cfg.jobs (fun _ -> Domain.spawn (fun () -> worker_main t)) in
   let rec accept_loop () =
@@ -540,6 +673,16 @@ let run t =
   Unix.close t.stop_r;
   Unix.close t.stop_w
 
+let run t =
+  (match t.cfg.journal with Some j -> replay_journal t j | None -> ());
+  if stopping t then begin
+    (* stopped during replay: nothing was bound or spawned — just
+       release the self-pipe and finish the drain *)
+    Unix.close t.stop_r;
+    Unix.close t.stop_w
+  end
+  else run_serving t
+
 (* --- client helpers ---------------------------------------------------- *)
 
 (* Shared by nascentc client, the bench service target and the tests:
@@ -613,8 +756,14 @@ module Client = struct
      a response) — the expected outcomes of racing a daemon that is
      draining or restarting, and safe to replay because requests are
      idempotent: compiles are memoized, status/burn are read-only. *)
-  let request_retry ?(policy = Retry.default) ?sleep ~seed path (req : Json.t) :
-      (Json.t, string) result =
+  (* Each attempt re-resolves and re-connects the socket path from
+     scratch, so the retry schedule rides through a supervised daemon
+     restart: the old socket's refusal/teardown is retryable, and the
+     replacement process re-binds the same path. [?max_elapsed_s]
+     bounds the whole schedule so retry-through-restart cannot wait
+     unboundedly (exhaustion surfaces as the usual gave-up error). *)
+  let request_retry ?(policy = Retry.default) ?sleep ?max_elapsed_s ~seed path
+      (req : Json.t) : (Json.t, string) result =
     let attempt ~attempt:_ =
       match with_conn path (fun conn -> exchange conn req) with
       | Ok resp ->
@@ -639,7 +788,7 @@ module Client = struct
         -> Error (`Retryable "cannot connect")
       | exception Unix.Unix_error (e, _, _) -> Error (`Fatal (Unix.error_message e))
     in
-    match Retry.run ?sleep ~policy ~seed attempt with
+    match Retry.run ?sleep ?max_elapsed_s ~policy ~seed attempt with
     | Retry.Ok_after (_, resp) -> Ok resp
     | Retry.Gave_up (n, msg) ->
         Error (Printf.sprintf "gave up after %d attempt(s): %s" n msg)

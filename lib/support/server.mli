@@ -39,20 +39,42 @@ type config = {
   queue_depth : int;  (** admission bound on queued requests *)
   default_deadline_s : float option;  (** default per-request budget *)
   request_fuel : int option;  (** per-request {!Guard} fuel budget *)
+  journal : Journal.t option;
+      (** write-ahead log: every admitted request is recorded (fsync'd)
+          before a worker touches it and marked done after its response
+          is written; {!run} replays admitted-but-unfinished entries
+          through the handler before binding the socket, so a [kill -9]
+          loses zero admitted work. [None] disables journaling. *)
+  restarts : int;
+      (** supervisor restart count, echoed as the ["restarts"] status
+          field — informational only *)
 }
 
 val default_config : socket_path:string -> config
-(** 2 jobs, depth 64, 30s deadline, 50M fuel. *)
+(** 2 jobs, depth 64, 30s deadline, 50M fuel, no journal. *)
 
 type t
 
 val create : config -> handler -> t
 
 val run : t -> unit
-(** Serve until {!stop}: binds (replacing any stale socket file),
-    accepts in the calling thread, then drains — sheds new work,
-    finishes and answers {e every} admitted request, joins workers and
-    readers, removes the socket file. *)
+(** Serve until {!stop}. With a journal configured, first replays every
+    admitted-but-unfinished entry through the handler (idempotent:
+    compiles are memo-backed), each under its own fresh deadline/fuel
+    budget; the socket binds only after replay, so the socket appearing
+    is the ready signal. Then binds (replacing any stale socket file),
+    accepts in the calling thread, and on {!stop} drains — sheds new
+    work, finishes and answers {e every} admitted request, joins
+    workers and readers, removes the socket file. {!stop} during the
+    replay stops between entries (the rest stay pending for the next
+    start) and returns without serving.
+
+    Memory watchdog (see {!Guard.set_mem_budget}): past the shed
+    fraction of the budget new admissions are refused with
+    [{"code": "overloaded", "retryable": true}]; a request whose
+    ticking crosses the full budget is aborted with
+    [{"code": "mem-pressure", "retryable": true}] instead of letting
+    the OS OOM-kill the daemon. *)
 
 val stop : t -> unit
 (** Request a graceful drain. Lock-free (a flag and a self-pipe
@@ -87,6 +109,7 @@ module Client : sig
   val request_retry :
     ?policy:Retry.policy ->
     ?sleep:(float -> unit) ->
+    ?max_elapsed_s:float ->
     seed:int ->
     string ->
     Json.t ->
@@ -97,5 +120,8 @@ module Client : sig
       down mid-exchange (EPIPE/ECONNRESET/EOF before a response) —
       racing a draining or restarting daemon is safe because requests
       are idempotent (compiles are memoized, status is read-only). A
-      response that arrives but fails to parse is fatal. *)
+      response that arrives but fails to parse is fatal. Every attempt
+      re-resolves and re-connects the socket path, so the schedule
+      rides through a supervised restart; [?max_elapsed_s] caps the
+      total wait (see {!Retry.run}). *)
 end

@@ -18,4 +18,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("harness", Test_harness.suite);
       ("server", Test_server.suite);
+      ("journal", Test_journal.suite);
     ]

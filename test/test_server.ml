@@ -639,6 +639,60 @@ let test_connection_resources_released () =
   Alcotest.(check int) "none of the served requests were lost" churn
     (ifield st "served")
 
+(* --- memory watchdog ---------------------------------------------------- *)
+
+let test_mem_pressure_sheds_admission () =
+  Fun.protect ~finally:(fun () -> Guard.set_mem_budget ~bytes:None ())
+  @@ fun () ->
+  with_service @@ fun path _ ->
+  Client.with_conn path @@ fun conn ->
+  (* a 1-byte budget: any heap is over it, so admission must shed *)
+  Guard.set_mem_budget ~bytes:(Some 1) ();
+  let shed = request_exn conn (compile_req "vortex") in
+  Alcotest.(check string) "shed, not served" "error" (sfield shed "status");
+  Alcotest.(check string) "shed as overloaded" "overloaded" (sfield shed "code");
+  Alcotest.(check bool) "shed is retryable" true (bfield shed "retryable");
+  (* pressure relieved: the same request is admitted and served — and
+     status (answered off the admission path) stays reachable throughout *)
+  Guard.set_mem_budget ~bytes:None ();
+  let ok = request_exn conn (compile_req "vortex") in
+  Alcotest.(check string) "served once pressure clears" "ok" (sfield ok "status");
+  let st = request_exn conn status_req in
+  Alcotest.(check int) "shed admissions counted" 1 (ifield st "mem_shed");
+  Alcotest.(check int) "no request was aborted" 0 (ifield st "mem_aborts")
+
+let test_mem_abort_is_retryable () =
+  (* a handler that trips the watchdog mid-request: the server must
+     answer mem-pressure/retryable and count the abort, not die *)
+  let handler =
+    {
+      Server.handle =
+        (fun req ->
+          match Json.str_member "mode" req with
+          | Some "boom" -> raise (Guard.Mem_exceeded "major heap over budget")
+          | _ -> Json.Obj [ ("status", Json.Str "ok") ]);
+      status_extra = (fun () -> []);
+    }
+  in
+  with_server handler @@ fun path _ ->
+  Client.with_conn path @@ fun conn ->
+  let boom =
+    request_exn conn
+      (Json.Obj [ ("id", Json.Int 1); ("op", Json.Str "x"); ("mode", Json.Str "boom") ])
+  in
+  Alcotest.(check string) "aborted request errors" "error" (sfield boom "status");
+  Alcotest.(check string) "abort code is mem-pressure" "mem-pressure"
+    (sfield boom "code");
+  Alcotest.(check bool) "abort is retryable" true (bfield boom "retryable");
+  (* the worker survives the abort *)
+  let ok =
+    request_exn conn (Json.Obj [ ("id", Json.Int 2); ("op", Json.Str "x") ])
+  in
+  Alcotest.(check string) "worker serves the next request" "ok" (sfield ok "status");
+  let st = request_exn conn status_req in
+  Alcotest.(check int) "abort counted" 1 (ifield st "mem_aborts");
+  Alcotest.(check int) "nothing shed at admission" 0 (ifield st "mem_shed")
+
 let suite =
   [
     Util.tc "compile request round-trips" test_compile_ok;
@@ -654,4 +708,6 @@ let suite =
     Util.tc "breaker trips and recovers" test_breaker_trips_and_recovers;
     Util.tc "100 concurrent faulted requests" test_hundred_concurrent_faulted_requests;
     Util.tc "drain loses nothing" test_drain_loses_nothing;
+    Util.tc "mem pressure sheds admission" test_mem_pressure_sheds_admission;
+    Util.tc "mem abort is retryable" test_mem_abort_is_retryable;
   ]

@@ -378,6 +378,110 @@ let test_deadline_generous_budget_no_fire () =
       done);
   Alcotest.(check bool) "a minute was enough" false (Guard.expired d)
 
+(* --- Retry: total-elapsed budget ---------------------------------------- *)
+
+let test_retry_elapsed_budget () =
+  (* fake time: the injected clock advances only when [sleep] is
+     called, so the test is instant and fully deterministic *)
+  let now = ref 0.0 in
+  let clock () = !now in
+  let sleep d = now := !now +. d in
+  let policy =
+    {
+      Retry.max_attempts = 100;
+      base_delay_s = 1.0;
+      multiplier = 1.0;
+      max_delay_s = 1.0;
+      jitter = 0.0;
+    }
+  in
+  (match
+     Retry.run ~sleep ~clock ~policy ~max_elapsed_s:3.5 ~seed:1 (fun ~attempt:_ ->
+         (Error (`Retryable "still down") : (unit, _) result))
+   with
+  | Retry.Gave_up (n, msg) ->
+      (* 1s per backoff: attempts fire at t=0,1,2,3,4; the attempt at
+         t=4 is the first to see the 3.5s budget spent — far short of
+         the policy's 100 attempts *)
+      Alcotest.(check int) "stopped by elapsed budget, not attempts" 5 n;
+      let mentions_budget =
+        let pat = "elapsed retry budget exhausted" in
+        let n = String.length msg and m = String.length pat in
+        let rec go i = i + m <= n && (String.sub msg i m = pat || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error names the exhausted budget" true mentions_budget
+  | Retry.Ok_after _ -> Alcotest.fail "cannot succeed: every attempt fails");
+  (* a success inside the window is unaffected by the budget *)
+  now := 0.0;
+  match
+    Retry.run ~sleep ~clock ~policy ~max_elapsed_s:3.5 ~seed:1 (fun ~attempt ->
+        if attempt < 3 then Error (`Retryable "not yet") else Ok attempt)
+  with
+  | Retry.Ok_after (3, 3) -> ()
+  | Retry.Ok_after (n, _) -> Alcotest.failf "succeeded on attempt %d, wanted 3" n
+  | Retry.Gave_up (_, msg) -> Alcotest.failf "gave up inside the window: %s" msg
+
+(* --- Guard: memory watchdog --------------------------------------------- *)
+
+let reset_mem_budget () = Guard.set_mem_budget ~bytes:None ()
+
+let test_mem_watchdog_over () =
+  Fun.protect ~finally:reset_mem_budget @@ fun () ->
+  (* a 1-byte budget: any live heap is over it *)
+  Guard.set_mem_budget ~bytes:(Some 1) ();
+  Alcotest.(check bool) "budget installed" true (Guard.mem_budget () = Some 1);
+  (match Guard.mem_level () with
+  | `Over -> ()
+  | `Pressure | `Ok -> Alcotest.fail "1-byte budget must report `Over");
+  (match Guard.tick_ambient () with
+  | () -> Alcotest.fail "ambient tick must raise over budget"
+  | exception Guard.Mem_exceeded what ->
+      Alcotest.(check bool) "message carries numbers" true
+        (String.length what > 0));
+  (* removing the budget silences the watchdog *)
+  reset_mem_budget ();
+  Guard.tick_ambient ();
+  match Guard.mem_level () with
+  | `Ok -> ()
+  | `Pressure | `Over -> Alcotest.fail "no budget means `Ok"
+
+let test_mem_watchdog_pressure_without_abort () =
+  Fun.protect ~finally:reset_mem_budget @@ fun () ->
+  (* budget far above the live heap, shed threshold far below it:
+     admission-side pressure, but no request abort *)
+  let heap = Guard.mem_heap_bytes () in
+  Guard.set_mem_budget ~shed_fraction:0.1 ~bytes:(Some (heap * 4)) ();
+  (match Guard.mem_level () with
+  | `Pressure -> ()
+  | `Over -> Alcotest.fail "heap is well under 4x its own size"
+  | `Ok -> Alcotest.fail "shed threshold at 10% must report `Pressure");
+  (* ticking does not raise: the heap is under the hard budget *)
+  Guard.tick_ambient ()
+
+(* --- Guard: advisory directory locks ------------------------------------ *)
+
+let test_dir_lock_conflict_and_release () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nascent-lock-test-%d" (Unix.getpid ()))
+  in
+  let l1 =
+    match Guard.lock_dir ~dir with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "first acquire failed: %s" e
+  in
+  Alcotest.(check bool) "lock file created" true
+    (Sys.file_exists (Filename.concat dir ".nascent-lock"));
+  (match Guard.lock_dir ~dir with
+  | Ok _ -> Alcotest.fail "second acquire of a held lock must be refused"
+  | Error e -> Alcotest.(check bool) "refusal is explained" true (String.length e > 0));
+  Guard.unlock_dir l1;
+  (* released: the next acquire succeeds *)
+  match Guard.lock_dir ~dir with
+  | Ok l2 -> Guard.unlock_dir l2
+  | Error e -> Alcotest.failf "reacquire after release failed: %s" e
+
 let suite =
   [
     tc "bitset: basic" test_bitset_basic;
@@ -398,9 +502,13 @@ let suite =
     tc "json: accessors" test_json_accessors;
     tc "retry: deterministic jitter" test_retry_delay_deterministic;
     tc "retry: outcomes" test_retry_outcomes;
+    tc "retry: elapsed budget" test_retry_elapsed_budget;
     tc "breaker: state machine" test_breaker_state_machine;
     tc "breaker: stalled probe re-arms" test_breaker_stalled_probe_rearms;
     tc "guard: deadline expiry" test_deadline_expiry;
     tc "guard: deadline fires on tick" test_deadline_fires_on_ambient_tick;
     tc "guard: generous deadline quiet" test_deadline_generous_budget_no_fire;
+    tc "guard: mem watchdog aborts over budget" test_mem_watchdog_over;
+    tc "guard: mem pressure without abort" test_mem_watchdog_pressure_without_abort;
+    tc "guard: dir lock conflict and release" test_dir_lock_conflict_and_release;
   ]

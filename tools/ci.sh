@@ -70,3 +70,91 @@ rc=0; wait "$DAEMON" || rc=$?
 trap - EXIT INT TERM
 rm -f "$SOCK" "$LOG"
 echo "service smoke OK: compile, status, fault->4, deadline->6, SIGTERM drain->0"
+
+# --- chaos smoke: supervision + journal replay ------------------------
+# Boot a supervised, journaled daemon; prove a second daemon on the
+# same journal is refused; kill -9 the serving child mid-request; the
+# supervisor restarts it, the journal replays the orphaned request
+# exactly once, and clients ride through the restart on retries.
+
+CSOCK="${TMPDIR:-/tmp}/nascent-chaos-$$.sock"
+CLOG="${TMPDIR:-/tmp}/nascent-chaos-$$.log"
+CJDIR="${TMPDIR:-/tmp}/nascent-chaos-$$.journal"
+BURNOUT="${TMPDIR:-/tmp}/nascent-chaos-$$.burn"
+
+cfail() {
+    echo "FAIL: $1" >&2
+    [ -f "$CLOG" ] && sed 's/^/  nascentd: /' "$CLOG" >&2
+    exit 1
+}
+
+./_build/default/bin/nascentd.exe --socket "$CSOCK" --jobs 2 \
+    --supervise --journal-dir "$CJDIR" >"$CLOG" 2>&1 &
+SUPER=$!
+trap 'kill "$SUPER" 2>/dev/null || true; rm -rf "$CSOCK" "$CLOG" "$CJDIR" "$BURNOUT"' EXIT INT TERM
+
+cclient() {
+    timeout 60 ./_build/default/bin/nascentc.exe client --connect "$CSOCK" "$@"
+}
+
+i=0
+while [ ! -S "$CSOCK" ]; do
+    kill -0 "$SUPER" 2>/dev/null || cfail "supervised nascentd died on startup"
+    i=$((i + 1))
+    [ "$i" -le 100 ] || cfail "supervised nascentd never bound $CSOCK"
+    sleep 0.1
+done
+
+# a second daemon on the same journal directory is refused promptly
+rc=0
+timeout 10 ./_build/default/bin/nascentd.exe \
+    --socket "$CSOCK.dup" --journal-dir "$CJDIR" >/dev/null 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || cfail "second daemon on a locked journal dir exited 0, want nonzero"
+
+# park a long request so the kill orphans an admitted journal entry;
+# its client rides the restart on retries and still ends at its own
+# deadline (exit 6), not at a connection error
+( rc=0; cclient --burn --deadline-ms 4000 --retries 10 --max-wait-ms 40000 \
+      >/dev/null 2>&1 || rc=$?; echo "$rc" >"$BURNOUT" ) &
+BURNER=$!
+sleep 0.5
+
+# kill -9 the serving child (its pid is in the supervisor's log)
+CHILD=$(awk '/serving pid/ { pid = $(NF-1) } END { print pid }' "$CLOG")
+case "$CHILD" in *[!0-9]*|"") cfail "could not parse serving pid from log" ;; esac
+kill -9 "$CHILD" 2>/dev/null || cfail "serving child $CHILD already gone"
+
+# clients ride through the restart: retries + total-elapsed budget
+for bench in vortex trfd qcd mdg simple; do
+    cclient "$bench" --retries 12 --max-wait-ms 40000 >/dev/null \
+        || cfail "compile of $bench across restart exited $?, want 0"
+done
+
+# the parked burn client finished with its own deadline, not a transport error
+wait "$BURNER" 2>/dev/null || true
+[ -f "$BURNOUT" ] || cfail "burn client never finished"
+[ "$(cat "$BURNOUT")" = "6" ] || cfail "burn client across restart exited $(cat "$BURNOUT"), want 6"
+
+# status shows exactly one restart and the replayed orphan
+STATUS=$(cclient --status) || cfail "status after restart exited $?"
+echo "$STATUS" | grep -q '"restarts":1' \
+    || cfail "status lacks \"restarts\":1: $STATUS"
+echo "$STATUS" | grep -Eq '"replayed":[1-9]' \
+    || cfail "status lacks a nonzero \"replayed\": $STATUS"
+echo "$STATUS" | grep -q '"journal_pending":0' \
+    || cfail "journal not drained after replay: $STATUS"
+
+# SIGTERM on the supervisor passes through: child drains, both exit 0
+kill -TERM "$SUPER"
+i=0
+while kill -0 "$SUPER" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || cfail "supervisor did not drain within 10s of SIGTERM"
+    sleep 0.1
+done
+rc=0; wait "$SUPER" || rc=$?
+[ "$rc" -eq 0 ] || cfail "supervisor exited $rc after SIGTERM drain, want 0"
+
+trap - EXIT INT TERM
+rm -rf "$CSOCK" "$CLOG" "$CJDIR" "$BURNOUT"
+echo "chaos smoke OK: double-daemon refused, kill -9 -> restart, journal replay, clients ride through, SIGTERM drain->0"
