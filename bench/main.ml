@@ -13,7 +13,8 @@
      dune exec bench/main.exe -- table1     # just Table 1
      dune exec bench/main.exe -- table2 | table3 | figures | canon | bech
      dune exec bench/main.exe -- tables     # tables only, no Bechamel (CI mode)
-     dune exec bench/main.exe -- check-determinism  # serial vs parallel vs warm cache
+     dune exec bench/main.exe -- check-determinism  # serial vs parallel vs warm cache + oracle differential
+     dune exec bench/main.exe -- oracle-diff  # --oracle vs baseline observable-identity matrix
      dune exec bench/main.exe -- speedup    # serial vs parallel wall-clock, JSON record
      dune exec bench/main.exe -- service    # warm-daemon latency vs cold nascentc startup
 *)
@@ -22,6 +23,9 @@ module E = Nascent_harness.Experiments
 module Report = Nascent_harness.Report
 module Figures = Nascent_harness.Figures
 module Config = Nascent_core.Config
+module Core = Nascent_core
+module Ir = Nascent_ir
+module Run = Nascent_interp.Run
 module B = Nascent_benchmarks.Suite
 module Pool = Nascent_support.Pool
 module Memo = Nascent_support.Memo
@@ -97,6 +101,73 @@ let run_tables () =
   run_extensions ();
   run_canon ()
 
+(* --- oracle differential: --oracle vs baseline ------------------------ *)
+
+(* The decision-procedure sweep (--oracle) may only delete checks it
+   has proved can never trap, so across the whole benchmark × scheme ×
+   kind matrix an oracle compile must be interpreter-observably
+   identical to the baseline compile — same printed values, same
+   trap/error behaviour — while executing no more dynamic checks. Each
+   oracle cell must also carry a translation-validation certificate.
+   Any divergence is a soundness bug, so the determinism gate fails on
+   it. *)
+let run_oracle_differential () =
+  let failures = ref 0 in
+  let cells = ref 0 in
+  let strict = ref 0 in
+  List.iter
+    (fun (b : B.benchmark) ->
+      let ir = Ir.Lower.of_source b.B.source in
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun kind ->
+              incr cells;
+              let compile oracle =
+                let config = Config.make ~scheme ~kind ~oracle () in
+                let opt, stats = Core.Optimizer.optimize ~config ir in
+                (Run.run opt, stats)
+              in
+              let base, _ = compile false in
+              let orac, stats = compile true in
+              let where =
+                Printf.sprintf "%s %s/%s" b.B.name
+                  (Config.scheme_name scheme) (Config.kind_name kind)
+              in
+              let fail msg =
+                incr failures;
+                Printf.eprintf "FAIL: oracle differential: %s: %s\n%!" where msg
+              in
+              if orac.Run.printed <> base.Run.printed then
+                fail "prints different values under --oracle";
+              if orac.Run.trap <> base.Run.trap then
+                fail
+                  (Printf.sprintf "trap diverges under --oracle (%s vs %s)"
+                     (Option.value ~default:"-" orac.Run.trap)
+                     (Option.value ~default:"-" base.Run.trap));
+              if orac.Run.error <> base.Run.error then
+                fail "runtime error diverges under --oracle";
+              if orac.Run.checks > base.Run.checks then
+                fail
+                  (Printf.sprintf "executes more checks than baseline (%d > %d)"
+                     orac.Run.checks base.Run.checks);
+              if orac.Run.checks < base.Run.checks then incr strict;
+              if Core.Optimizer.validated stats <> Some true then
+                fail "oracle compile carries no validation certificate")
+            [ Config.PRX; Config.INX ])
+        Config.extended_schemes)
+    B.all;
+  if !failures > 0 then begin
+    Printf.eprintf "FAIL: oracle differential: %d violation(s) in %d cell(s)\n%!"
+      !failures !cells;
+    exit 1
+  end;
+  Printf.printf
+    "oracle differential OK: %d cell(s) observably identical, oracle strictly \
+     cheaper on %d\n\
+     %!"
+    !cells !strict
+
 (* --- determinism gate: serial vs parallel vs warm cache --------------- *)
 
 (* The full table suite minus timing columns: what must be invariant
@@ -156,7 +227,8 @@ let run_check_determinism () =
     "determinism gate OK: %d serial cell(s) == %d parallel cell(s), warm rerun \
      byte-identical with 0 re-optimizations\n\
      %!"
-    serial_misses parallel_misses
+    serial_misses parallel_misses;
+  run_oracle_differential ()
 
 (* --- speedup baseline: serial vs parallel wall-clock ------------------ *)
 
@@ -419,6 +491,7 @@ let () =
     | "extensions" -> run_extensions ()
     | "tables" -> run_tables ()
     | "check-determinism" -> run_check_determinism ()
+    | "oracle-diff" -> run_oracle_differential ()
     | "speedup" -> run_speedup ()
     | "service" -> run_service ()
     | "bech" -> run_bech ()

@@ -144,6 +144,18 @@ let verify_arg =
     & info [ "verify" ] ~docv:"BOOL"
         ~doc:"Run the IR invariant verifier between optimizer passes (default true).")
 
+let oracle_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "oracle" ]
+        ~doc:
+          "Consult the decision-procedure implication oracle during elimination \
+           (cross-family implications beyond the syntactic CIG) and run \
+           per-compile translation validation: every original check site is \
+           proven still covered by the residual checks plus dominating guards. \
+           The certificate appears as the \"validated\" field of --stats-json.")
+
 let trace_arg =
   Arg.(
     value
@@ -191,7 +203,8 @@ let fuel_arg =
     & info [ "fuel" ] ~docv:"N" ~doc:"Interpreter step budget.")
 
 let fault_classes_doc =
-  "drop-check, weaken-check, break-edge, unsafe-insert or hang-fixpoint"
+  "drop-check, weaken-check, break-edge, unsafe-insert, hang-fixpoint or \
+   unsound-eliminate"
 
 (* A single CLASS[:SEED] spec, for the optimizing commands. *)
 let fault_arg =
@@ -217,17 +230,23 @@ let fault_arg =
 
 let config_term =
   Term.(
-    const (fun scheme kind impl verify fault ->
-        Config.make ~scheme ~kind ~impl ~verify ?fault ())
-    $ scheme_arg $ kind_arg $ impl_arg $ verify_arg $ fault_arg)
+    const (fun scheme kind impl verify fault oracle ->
+        Config.make ~scheme ~kind ~impl ~verify ?fault ~oracle ())
+    $ scheme_arg $ kind_arg $ impl_arg $ verify_arg $ fault_arg $ oracle_arg)
 
-(* Exit 4 — compiled, but degraded: some pass rolled back. *)
+(* Exit 4 — compiled, but degraded: some pass rolled back, or the
+   translation-validation certificate could not be established. *)
 let exit_of_stats ?(ok = 0) = function
   | Some st when st.Core.Optimizer.incidents <> [] ->
       Fmt.epr "nascentc: %d optimizer pass(es) rolled back:@.%a@."
         (List.length st.Core.Optimizer.incidents)
         (Fmt.list Core.Optimizer.pp_incident)
         st.Core.Optimizer.incidents;
+      4
+  | Some st when Core.Optimizer.validated st = Some false ->
+      (match st.Core.Optimizer.validation with
+      | Some v -> Fmt.epr "nascentc: %a@." Ir.Validate.pp v
+      | None -> ());
       4
   | _ -> ok
 
@@ -337,12 +356,23 @@ let fault_schemes = function
   | Ir.Mutate.Break_edge | Ir.Mutate.Hang_fixpoint ->
       (* "eliminate" runs in every scheme *)
       Config.extended_schemes
+  | Ir.Mutate.Unsound_eliminate ->
+      (* schemes whose residual in-place checks are reference checks;
+         insertion schemes (SE/LNI/ALL) can leave an inserted check
+         that covers no reference obligation, whose deletion the
+         validator rightly does not flag *)
+      [ Config.NI; Config.LLS ]
 
 (* One fault-injection cell: optimize under a deliberately corrupted
    pass and check the full recovery contract. Returns
    [injected, failure messages]. *)
 let fault_cell (name, ir, spec, scheme) =
-  let config = Config.make ~scheme ~fault:spec () in
+  (* [unsound-eliminate] is legal under every differential rule, so its
+     cells compile with the oracle on: the translation validator is the
+     detection mechanism under test, and "detected" means the
+     certificate was refused with no pass incident. *)
+  let unsound = spec.Ir.Mutate.cls = Ir.Mutate.Unsound_eliminate in
+  let config = Config.make ~scheme ~fault:spec ~oracle:unsound () in
   let where = Fmt.str "%s under %a" name Config.pp config in
   match Core.Optimizer.optimize ~config ir with
   | exception Ir.Verify.Invalid_ir msg ->
@@ -352,10 +382,19 @@ let fault_cell (name, ir, spec, scheme) =
       let errs = ref [] in
       let fail fmt = Fmt.kstr (fun m -> errs := Fmt.str "%s: %s" where m :: !errs) fmt in
       (if injected then begin
-         (* detection: a corruption that draws no incident escaped *)
-         if stats.Core.Optimizer.incidents = [] then
-           fail "injected fault drew no incident (undetected corruption)"
+         if unsound then begin
+           if stats.Core.Optimizer.incidents <> [] then
+             fail "unsound deletion drew a pass incident (should be rule-invisible)";
+           if Core.Optimizer.validated stats <> Some false then
+             fail "unsound deletion escaped the translation validator"
+         end
+         else if
+           (* detection: a corruption that draws no incident escaped *)
+           stats.Core.Optimizer.incidents = []
+         then fail "injected fault drew no incident (undetected corruption)"
        end
+       else if unsound && Core.Optimizer.validated stats <> Some true then
+         fail "fault-free cell lost its validation certificate"
        else if stats.Core.Optimizer.incidents <> [] then
          (* the converse: nothing was corrupted, so nothing may roll back *)
          fail "no fault applied, yet %d incident(s) were reported"
@@ -416,7 +455,7 @@ let cmd_verify =
                 diverges from the naive interpreter."
                fault_classes_doc))
   in
-  let run file fault trace jobs =
+  let run file fault trace jobs oracle =
     with_errors @@ fun () ->
     setup_trace trace;
     setup_jobs jobs;
@@ -464,7 +503,9 @@ let cmd_verify =
                     (fun kind ->
                       List.map
                         (fun impl ->
-                          (name, ir, Config.make ~scheme ~kind ~impl ~verify:true ()))
+                          ( name,
+                            ir,
+                            Config.make ~scheme ~kind ~impl ~verify:true ~oracle () ))
                         impls)
                     [ Config.PRX; Config.INX ])
                 Config.extended_schemes)
@@ -475,9 +516,18 @@ let cmd_verify =
             (fun (name, ir, config) ->
               match Core.Optimizer.optimize ~config ir with
               | _, stats -> (
-                  match stats.Core.Optimizer.incidents with
-                  | [] -> None
-                  | is ->
+                  match
+                    (stats.Core.Optimizer.incidents, Core.Optimizer.validated stats)
+                  with
+                  | [], Some false ->
+                      Some
+                        ( name,
+                          config,
+                          Fmt.str "translation validation failed:@.%a"
+                            (Fmt.option Ir.Validate.pp)
+                            stats.Core.Optimizer.validation )
+                  | [], _ -> None
+                  | is, _ ->
                       Some
                         ( name,
                           config,
@@ -569,7 +619,7 @@ let cmd_verify =
     end
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ file_opt_arg $ fault_req_arg $ trace_arg $ jobs_arg)
+    Term.(const run $ file_opt_arg $ fault_req_arg $ trace_arg $ jobs_arg $ oracle_arg)
 
 (* --- compile-service client -------------------------------------------- *)
 
@@ -729,6 +779,7 @@ let cmd_client =
                  ("kind", Json.Str (Config.kind_name config.Config.kind));
                  ("impl", Json.Str (impl_wire config.Config.impl));
                  ("verify", Json.Bool config.Config.verify);
+                 ("oracle", Json.Bool config.Config.oracle);
                  ("run", Json.Bool want_run);
                ]
               @

@@ -7,6 +7,33 @@
 
 type t = (Atom.t * int) list (* strictly increasing by atom key, coeff <> 0 *)
 
+exception Overflow
+
+(* Checked coefficient arithmetic. Coefficients live in OCaml's native
+   [int]; silently wrapping at [Int.max_int] would turn a strong check
+   into a wrong one, so every sum/product either yields the exact
+   mathematical result or raises {!Overflow} — callers doing
+   speculative reasoning (the oracle, gcd normalization) treat it as
+   "unknown" and bail. *)
+let cadd a b =
+  let s = a + b in
+  (* Signed overflow iff both operands share a sign and the sum does
+     not. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then raise Overflow;
+  s
+
+let cmul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    (* min_int / -1 itself overflows, so test it first. *)
+    if (a = Int.min_int && b = -1) || (b = Int.min_int && a = -1) then raise Overflow
+    else if p / b <> a then raise Overflow
+    else p
+
+let checked_add = cadd
+let checked_mul = cmul
+
 let zero : t = []
 
 let is_zero (t : t) = t = []
@@ -22,10 +49,10 @@ let rec add (a : t) (b : t) : t =
       if c < 0 then (xa, ca) :: add ra b
       else if c > 0 then (xb, cb) :: add a rb
       else
-        let s = ca + cb in
+        let s = cadd ca cb in
         if s = 0 then add ra rb else (xa, s) :: add ra rb
 
-let scale k (t : t) : t = if k = 0 then [] else List.map (fun (a, c) -> (a, c * k)) t
+let scale k (t : t) : t = if k = 0 then [] else List.map (fun (a, c) -> (a, cmul c k)) t
 
 let neg t = scale (-1) t
 

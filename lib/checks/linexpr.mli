@@ -8,6 +8,13 @@
 
 type t
 
+exception Overflow
+(** Raised by any coefficient computation whose exact mathematical
+    result does not fit in a native [int]. Silent wrapping would turn a
+    strong check into a wrong one, so arithmetic here is checked;
+    speculative callers (the implication oracle, gcd normalization)
+    catch this and degrade to "unknown". *)
+
 val zero : t
 (** The empty sum. *)
 
@@ -54,6 +61,12 @@ val coeff_of_key : t -> int -> int
 
 val coeff_gcd : t -> int
 (** Gcd of the absolute coefficients; 0 for {!zero}. *)
+
+val checked_add : int -> int -> int
+(** Exact integer sum, or raise {!Overflow}. *)
+
+val checked_mul : int -> int -> int
+(** Exact integer product, or raise {!Overflow}. *)
 
 val compare : t -> t -> int
 (** Total order; expressions are equal iff they have identical terms,

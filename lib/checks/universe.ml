@@ -50,10 +50,26 @@ let index_of_exn t c =
 
 let family t i = t.families.(i)
 
+(* Same atom vocabulary (as key sets)? A single-hypothesis implication
+   [ci => cj] can only hold when every atom is shared: a variable
+   occurring in just one of the two constraints is unbounded in the
+   direction the refutation would need. Cheap pre-filter that keeps the
+   O(n^2) oracle sweep of [build] from querying hopeless pairs. *)
+let same_atom_keys a b =
+  let ka = Check.atom_keys a and kb = Check.atom_keys b in
+  List.length ka = List.length kb && List.for_all2 ( = ) ka kb
+
 (* Build a frozen universe from the distinct checks of [checks].
    Implication queries go through [cig], which the caller has already
-   populated with cross-family edges (e.g. from loop-limit substitution). *)
-let build ~cig ~mode (checks : Check.t list) : t =
+   populated with cross-family edges (e.g. from loop-limit
+   substitution). With [~oracle:true], availability-generation is
+   additionally widened by the decision procedure ({!Oracle}): pairs
+   the CIG cannot relate syntactically (different families, e.g.
+   [2*i <= 10 => i <= 5]) gain an implication when the oracle proves
+   it. Only [avail_gen] is widened — [ant_gen] keeps the paper's
+   same-family restriction (section 3.2), because insertion safety
+   depends on it, not on implication strength. *)
+let build ~cig ~mode ?(oracle = false) (checks : Check.t list) : t =
   let index = Hashtbl.create 64 in
   let distinct =
     List.filter
@@ -77,11 +93,17 @@ let build ~cig ~mode (checks : Check.t list) : t =
       let strong () =
         Cig.as_strong_as cig ~strong:(families.(i), ci) ~weak:(families.(j), cj)
       in
+      let oracle_proves () =
+        oracle && i <> j && (not same_fam)
+        && same_atom_keys arr.(i) arr.(j)
+        && Oracle.implies ~hyps:[ arr.(i) ] arr.(j)
+      in
       let avail_implies =
         match mode with
         | No_implications -> i = j
-        | Cross_family_only -> i = j || ((not same_fam) && strong ())
-        | All_implications -> strong ()
+        | Cross_family_only ->
+            i = j || ((not same_fam) && (strong () || oracle_proves ()))
+        | All_implications -> strong () || oracle_proves ()
       in
       if avail_implies then Bitset.add avail_gen.(i) j;
       let ant_implies =

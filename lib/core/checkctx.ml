@@ -19,6 +19,7 @@ type t = {
   mutable loops_num_blocks : int; (* block count [loops] was computed at *)
   cig : Cig.t;
   mode : Universe.mode;
+  oracle : bool;
   site_check : Ir.Types.check_meta -> Check.t;
   instr_kill_keys : Ir.Types.instr -> int list;
   block_entry_kill_keys : int -> int list;
@@ -30,13 +31,14 @@ let prx_kills (atoms : Ir.Atoms.t) (i : Ir.Types.instr) : int list =
   | Ir.Types.Store _ | Ir.Types.Call _ -> Ir.Atoms.killed_by_store atoms
   | _ -> []
 
-let create_prx ~mode (func : Ir.Func.t) : t =
+let create_prx ~mode ?(oracle = false) (func : Ir.Func.t) : t =
   {
     func;
     loops = Loops.compute func;
     loops_num_blocks = Ir.Func.num_blocks func;
     cig = Cig.create ();
     mode;
+    oracle;
     site_check = (fun m -> m.Ir.Types.chk);
     instr_kill_keys = prx_kills func.Ir.Func.atoms;
     block_entry_kill_keys = (fun _ -> []);
@@ -57,4 +59,5 @@ let refresh (t : t) : unit =
    the function (placement passes rebuild it after inserting). *)
 let universe (t : t) : Universe.t =
   let metas = Ir.Func.all_check_metas t.func in
-  Universe.build ~cig:t.cig ~mode:t.mode (List.map t.site_check metas)
+  Universe.build ~cig:t.cig ~mode:t.mode ~oracle:t.oracle
+    (List.map t.site_check metas)

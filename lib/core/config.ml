@@ -33,6 +33,10 @@ type t = {
   fault : Nascent_ir.Mutate.spec option;
       (* deliberately corrupt one pass's output (--inject-fault): the
          fault-tolerance harness. Forces the verifier on. *)
+  oracle : bool;
+      (* consult the decision-procedure oracle (Nascent_checks.Oracle)
+         during elimination: cross-family implications beyond the CIG's
+         syntactic edges, plus per-compile translation validation *)
 }
 
 let default =
@@ -42,11 +46,12 @@ let default =
     impl = Universe.All_implications;
     verify = true;
     fault = None;
+    oracle = false;
   }
 
 let make ?(scheme = LLS) ?(kind = PRX) ?(impl = Universe.All_implications)
-    ?(verify = true) ?fault () =
-  { scheme; kind; impl; verify; fault }
+    ?(verify = true) ?fault ?(oracle = false) () =
+  { scheme; kind; impl; verify; fault; oracle }
 
 let scheme_name = function
   | NI -> "NI"
@@ -82,8 +87,9 @@ let fault_name = function
   | Some s -> Nascent_ir.Mutate.spec_name s
 
 let pp ppf t =
-  Fmt.pf ppf "%s/%s/%s%a" (scheme_name t.scheme) (kind_name t.kind)
+  Fmt.pf ppf "%s/%s/%s%s%a" (scheme_name t.scheme) (kind_name t.kind)
     (Universe.mode_name t.impl)
+    (if t.oracle then "+O" else "")
     (fun ppf -> function
       | None -> ()
       | Some s -> Fmt.pf ppf "+%s" (Nascent_ir.Mutate.spec_name s))
@@ -96,6 +102,6 @@ let pp ppf t =
    entries. [fault] likewise: a deliberately degraded compile must
    never serve a fault-free lookup. *)
 let cache_key t =
-  Printf.sprintf "%s/%s/%s/verify=%b/fault=%s" (scheme_name t.scheme)
+  Printf.sprintf "%s/%s/%s/verify=%b/fault=%s/oracle=%b" (scheme_name t.scheme)
     (kind_name t.kind)
-    (Universe.mode_name t.impl) t.verify (fault_name t.fault)
+    (Universe.mode_name t.impl) t.verify (fault_name t.fault) t.oracle

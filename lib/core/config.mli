@@ -32,6 +32,12 @@ type t = {
       (** deliberately corrupt one pass's output ([--inject-fault]) to
           exercise the detect-and-rollback path; forces verification
           on. [None] in every normal compile. *)
+  oracle : bool;
+      (** consult the decision-procedure oracle
+          ({!Nascent_checks.Oracle}) during elimination — cross-family
+          implications beyond the CIG's syntactic edges — and run
+          per-compile translation validation ({!Nascent_ir.Validate})
+          after optimization. Off by default. *)
 }
 
 val default : t
@@ -44,6 +50,7 @@ val make :
   ?impl:Universe.mode ->
   ?verify:bool ->
   ?fault:Nascent_ir.Mutate.spec ->
+  ?oracle:bool ->
   unit ->
   t
 

@@ -37,6 +37,24 @@ let redundancy_elimination (env : Analyses.env) (st : stats) : unit =
   let avail = Analyses.availability env in
   let cov = covered_by env.Analyses.uni in
   let reach = Ir.Func.reachable f in
+  (* Oracle mode only: is the check at index [j] entailed by the
+     *conjunction* of the currently available checks? Every check in
+     [cur] was performed (and passed) on every path here with no
+     intervening kill of its atoms, so the conjunction of their
+     constraints holds at this point; if it implies [j]'s constraint,
+     executing [j] cannot trap. The single-hypothesis cases are already
+     folded into [cov] by the universe's oracle widening — this covers
+     genuinely conjunctive facts like [x <= y /\ y <= 5 |- x <= 5]. *)
+  let conjunction_implies cur j =
+    ctx.Checkctx.oracle
+    &&
+    let hyps = ref [] in
+    Bitset.iter
+      (fun i -> hyps := Universe.check env.Analyses.uni i :: !hyps)
+      cur;
+    Nascent_checks.Oracle.implies ~hyps:!hyps
+      (Universe.check env.Analyses.uni j)
+  in
   Ir.Func.iter_blocks
     (fun b ->
       if reach.(b.bid) then begin
@@ -52,7 +70,10 @@ let redundancy_elimination (env : Analyses.env) (st : stats) : unit =
                   match Universe.index_of env.Analyses.uni (ctx.Checkctx.site_check m) with
                   | None -> true (* not in universe: leave untouched *)
                   | Some j ->
-                      if not (Bitset.disjoint cur cov.(j)) then begin
+                      if
+                        (not (Bitset.disjoint cur cov.(j)))
+                        || conjunction_implies cur j
+                      then begin
                         st.redundant_deleted <- st.redundant_deleted + 1;
                         false
                       end
@@ -71,6 +92,51 @@ let redundancy_elimination (env : Analyses.env) (st : stats) : unit =
             b.instrs
         in
         b.instrs <- keep
+      end)
+    f
+
+(* Step 4b, oracle mode only: delete every check provable from the
+   {e ambient} facts of its program point — the branch conditions
+   holding on every path in, assignment postconditions, and affine loop
+   invariants, with check instructions contributing nothing
+   ({!Ir.Validate.Facts}). The CIG-based elimination above only sees
+   pairwise syntactic implications between checks; this sweep decides
+   arbitrary linear consequences (conjunctions across families,
+   equalities threaded through assignments), so it reaches checks —
+   typically hoisted preheader checks over loop-invariant bounds — the
+   paper's machinery cannot.
+
+   Ambient (check-independent) proofs are what keep the deletions
+   stable under each other: deleting check A never invalidates the
+   proof that justified deleting check B, so the per-compile
+   translation validator re-derives every proof on the post-deletion
+   function. A [Cond_check] whose check is provable outright is deleted
+   too — if its guard is true the check runs and passes, and if false
+   the instruction was a no-op either way. *)
+let oracle_elimination (f : Ir.Func.t) (st : stats) : unit =
+  let atoms = f.Ir.Func.atoms in
+  let entry = Ir.Validate.Facts.ambient_entry f in
+  let reach = Ir.Func.reachable f in
+  Ir.Func.iter_blocks
+    (fun b ->
+      if reach.(b.bid) then begin
+        let state = ref (Some entry.(b.bid)) in
+        b.instrs <-
+          List.filter
+            (fun i ->
+              let provable m =
+                match !state with
+                | Some s -> Ir.Validate.Facts.proves s m.chk
+                | None -> true (* dead past an unconditional trap *)
+              in
+              match i with
+              | (Check m | Cond_check (_, m)) when provable m ->
+                  st.redundant_deleted <- st.redundant_deleted + 1;
+                  false
+              | _ ->
+                  state := Ir.Validate.Facts.step atoms !state i;
+                  true)
+            b.instrs
       end)
     f
 
@@ -135,5 +201,6 @@ let run (ctx : Checkctx.t) : stats =
   let st = new_stats () in
   let env = Analyses.make_env ctx in
   redundancy_elimination env st;
+  if ctx.Checkctx.oracle then oracle_elimination ctx.Checkctx.func st;
   compile_time_checks ctx.Checkctx.func st;
   st

@@ -72,6 +72,9 @@ type stats = {
   incidents : incident list; (* rolled-back passes, pipeline order *)
   faults_injected : int; (* corruptions Mutate actually applied/triggered *)
   elapsed_s : float; (* monotonic optimization time, Table 2/3's Range column *)
+  validation : Ir.Validate.t option;
+      (* the translation-validation certificate; [None] unless the
+         compile ran with [Config.oracle] *)
 }
 
 let empty_stats config =
@@ -92,7 +95,13 @@ let empty_stats config =
     incidents = [];
     faults_injected = 0;
     elapsed_s = 0.0;
+    validation = None;
   }
+
+(* [validated] folds the certificate to the wire-friendly triple:
+   [None] = validation did not run, [Some ok] otherwise. *)
+let validated (s : stats) : bool option =
+  Option.map Ir.Validate.validated s.validation
 
 (* Merge per-pass records by pass name, keeping [a]'s pipeline order
    and appending passes only [b] ran. *)
@@ -132,6 +141,10 @@ let add a b =
     incidents = a.incidents @ b.incidents;
     faults_injected = a.faults_injected + b.faults_injected;
     elapsed_s = a.elapsed_s +. b.elapsed_s;
+    validation =
+      (match (a.validation, b.validation) with
+      | None, v | v, None -> v
+      | Some va, Some vb -> Some (Ir.Validate.merge va vb));
   }
 
 (* Optimize one function in place.
@@ -240,13 +253,23 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
     ignore
       (run_pass "inx-rewrite" ~vpass:Ir.Verify.Rewrite (fun () ->
            Induction_rewrite.run f));
+  (* Translation validation compares the final function against the
+     state entering the optimization pipeline proper (the INX rewrite
+     above is certified by its own differential rules); snapshot it
+     only when the certificate was asked for. *)
+  let reference =
+    if config.Config.oracle then Some (Ir.Transform.copy_func f) else None
+  in
   (* The context — canonical site checks, kill oracles, loop structure,
      CIG — is built once and shared by every pass; [Checkctx.refresh]
      revalidates the loop structure after CFG-shaping passes instead of
      rebuilding (and re-canonicalizing) from scratch. Without a context
      no pass can run: a context fault degrades this function all the
      way to its naive-checked form (the NI floor). *)
-  (match run_pass "context" (fun () -> Checkctx.create_prx ~mode:config.Config.impl f) with
+  (match
+     run_pass "context" (fun () ->
+         Checkctx.create_prx ~mode:config.Config.impl ~oracle:config.Config.oracle f)
+   with
   | Error () -> ()
   | Ok ctx ->
       (match config.Config.scheme with
@@ -320,6 +343,17 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
             Checkctx.refresh ctx;
             Eliminate.redundancy_elimination (Analyses.make_env ctx) e)
       in
+      (* The decision-procedure sweep is its own pass so a rollback
+         (fuel, verifier) costs only the oracle's extra deletions, not
+         the syntactic elimination above; its counters are likewise
+         separate so a rolled-back sweep contributes zero. *)
+      let eo = Eliminate.new_stats () in
+      let oelim =
+        if config.Config.oracle then
+          run_pass "oracle-elim" ~vpass:Ir.Verify.Elimination (fun () ->
+              Eliminate.oracle_elimination f eo)
+        else Ok ()
+      in
       let fold =
         run_pass "fold" ~vpass:Ir.Verify.Fold (fun () -> Eliminate.compile_time_checks f e)
       in
@@ -327,13 +361,40 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
         {
           !st with
           redundant_deleted =
-            (match elim with Ok () -> e.Eliminate.redundant_deleted | Error () -> 0);
+            (match elim with Ok () -> e.Eliminate.redundant_deleted | Error () -> 0)
+            + (match oelim with Ok () -> eo.Eliminate.redundant_deleted | Error () -> 0);
           compile_time_deleted =
             (match fold with Ok () -> e.Eliminate.compile_time_deleted | Error () -> 0);
           compile_time_traps =
             (match fold with Ok () -> e.Eliminate.compile_time_traps | Error () -> 0);
         });
   let _, checks_after = Ir.Func.static_counts f in
+  (* The certificate: prove every reference check site is still covered
+     by the residual checks plus dominating guards. Runs outside the
+     pass guard — it never mutates the IR and carries its own fuel
+     budget — but is timed like a pass so the [--oracle] compile-time
+     columns account for it. *)
+  let validation =
+    match reference with
+    | None -> None
+    | Some orig ->
+        let t = Mclock.counter () in
+        let v = Ir.Validate.func_guarded ~original:orig ~optimized:f in
+        let dt = Mclock.elapsed_s t in
+        passes :=
+          {
+            pass = "validate";
+            pass_time_s = dt;
+            pass_checks_before = checks_after;
+            pass_checks_after = checks_after;
+          }
+          :: !passes;
+        if not (Ir.Validate.validated v) then
+          Log.warn (fun m ->
+              m "%s: translation validation FAILED: %a" f.Ir.Func.fname
+                Ir.Validate.pp v);
+        Some v
+  in
   let result =
     {
       !st with
@@ -343,6 +404,7 @@ let optimize_func (config : Config.t) (f : Ir.Func.t) : stats =
       incidents = List.rev !incidents;
       faults_injected = !faults_injected;
       elapsed_s = Mclock.elapsed_s t0;
+      validation;
     }
   in
   Log.info (fun m ->
@@ -388,7 +450,10 @@ let pp_stats ppf (s : stats) =
       | is ->
           Fmt.pf ppf "incidents: %d (%d fault(s) injected)@,%a@,"
             (List.length is) s.faults_injected (Fmt.list pp_incident) is)
-    s.incidents s.elapsed_s
+    s.incidents s.elapsed_s;
+  match s.validation with
+  | None -> ()
+  | Some v -> Fmt.pf ppf "@,%a" Ir.Validate.pp v
 
 (* Hand-rolled JSON (no JSON library in the tree): every emitted value
    is a number or a fixed-alphabet name, except incident details —
@@ -401,12 +466,13 @@ let stats_to_json (s : stats) : string =
   pf "{\n";
   pf
     "  \"config\": {\"scheme\": %S, \"kind\": %S, \"impl\": %S, \"verify\": %b, \
-     \"fault\": %S},\n"
+     \"fault\": %S, \"oracle\": %b},\n"
     (Config.scheme_name s.config.Config.scheme)
     (Config.kind_name s.config.Config.kind)
     (Nascent_checks.Universe.mode_name s.config.Config.impl)
     s.config.Config.verify
-    (Config.fault_name s.config.Config.fault);
+    (Config.fault_name s.config.Config.fault)
+    s.config.Config.oracle;
   pf "  \"static_checks_before\": %d,\n" s.static_checks_before;
   pf "  \"static_checks_after\": %d,\n" s.static_checks_after;
   pf "  \"strengthened\": %d,\n" s.strengthened;
@@ -440,5 +506,23 @@ let stats_to_json (s : stats) : string =
         inc.inc_pass inc.inc_func (cause_name inc.inc_cause) inc.inc_detail
         inc.inc_elapsed_s)
     s.incidents;
-  pf "\n  ]\n}\n";
+  pf "\n  ],\n";
+  (match s.validation with
+  | None ->
+      pf "  \"validated\": null,\n";
+      pf "  \"validation\": null\n"
+  | Some v ->
+      pf "  \"validated\": %b,\n" (Ir.Validate.validated v);
+      pf "  \"validation\": {\"sites\": %d, \"proven\": %d, \"failures\": ["
+        v.Ir.Validate.total_sites v.Ir.Validate.proven_sites;
+      List.iteri
+        (fun i (f : Ir.Validate.site) ->
+          if i > 0 then pf ",";
+          pf "\n    {\"func\": %S, \"bid\": %d, \"check\": %S, \"reason\": %S}"
+            f.Ir.Validate.s_func f.Ir.Validate.s_bid
+            (Fmt.str "%a" Nascent_checks.Check.pp f.Ir.Validate.s_check)
+            f.Ir.Validate.s_reason)
+        v.Ir.Validate.failures;
+      pf "%s]}\n" (if v.Ir.Validate.failures = [] then "" else "\n  "));
+  pf "}\n";
   Buffer.contents buf

@@ -89,9 +89,17 @@ type stats = {
           triggered; [0] in every fault-free compile *)
   elapsed_s : float;
       (** monotonic optimization time — Table 2/3's "Range" column *)
+  validation : Nascent_ir.Validate.t option;
+      (** the translation-validation certificate ({!Nascent_ir.Validate}):
+          proven/failed coverage of every reference check site. [None]
+          unless the compile ran with [Config.oracle]. *)
 }
 
 val empty_stats : Config.t -> stats
+
+val validated : stats -> bool option
+(** The certificate folded to its wire form: [None] when validation did
+    not run (no [--oracle]), [Some ok] otherwise. *)
 
 val add : stats -> stats -> stats
 (** Sums counters and per-pass records (merged by pass name). *)

@@ -108,7 +108,7 @@ type cell = {
 
 (* Cache key version: bump when [cell]'s shape or the counting model
    changes, or stale on-disk entries would replay the old shape. *)
-let cell_version = "cell-v2"
+let cell_version = "cell-v3"
 
 let cell_cache : cell Memo.t = Memo.create ~name:"cells" ()
 let cell_cache_stats () = Memo.stats cell_cache
@@ -234,17 +234,21 @@ let table2 ?(kinds = [ Config.PRX; Config.INX ]) (chars : characteristics list) 
        kinds)
 
 (* Table 3: implication ablation — NI/NI', SE/SE' (no implications at
-   all) and LLS/LLS' (cross-family only). *)
+   all), LLS/LLS' (cross-family only), and ALL/ALL+O (the syntactic CIG
+   alone vs CIG plus the Fourier–Motzkin implication oracle, which adds
+   cross-family availability edges and conjunction-level redundancy). *)
 let table3 ?(kinds = [ Config.PRX; Config.INX ]) (chars : characteristics list) :
     (Config.check_kind * row list) list =
   let variants =
     [
-      ("NI", Config.NI, Universe.All_implications);
-      ("NI'", Config.NI, Universe.No_implications);
-      ("SE", Config.SE, Universe.All_implications);
-      ("SE'", Config.SE, Universe.No_implications);
-      ("LLS", Config.LLS, Universe.All_implications);
-      ("LLS'", Config.LLS, Universe.Cross_family_only);
+      ("NI", Config.NI, Universe.All_implications, false);
+      ("NI'", Config.NI, Universe.No_implications, false);
+      ("SE", Config.SE, Universe.All_implications, false);
+      ("SE'", Config.SE, Universe.No_implications, false);
+      ("LLS", Config.LLS, Universe.All_implications, false);
+      ("LLS'", Config.LLS, Universe.Cross_family_only, false);
+      ("ALL", Config.ALL, Universe.All_implications, false);
+      ("ALL+O", Config.ALL, Universe.All_implications, true);
     ]
   in
   run_table chars
@@ -252,8 +256,8 @@ let table3 ?(kinds = [ Config.PRX; Config.INX ]) (chars : characteristics list) 
        (fun kind ->
          ( kind,
            List.map
-             (fun (label, scheme, impl) ->
-               (Some label, Config.make ~scheme ~kind ~impl ()))
+             (fun (label, scheme, impl, oracle) ->
+               (Some label, Config.make ~scheme ~kind ~impl ~oracle ()))
              variants ))
        kinds)
 

@@ -104,7 +104,8 @@ let table3 chars groups =
   pct_table
     ~title:
       "Table 3: implication ablation (primed rows disable implications:\n\
-       NI'/SE' entirely, LLS' within-family only)"
+       NI'/SE' entirely, LLS' within-family only; ALL+O adds the\n\
+       Fourier-Motzkin implication oracle on top of the syntactic CIG)"
     chars groups
 
 let extensions chars groups =

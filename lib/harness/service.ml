@@ -5,7 +5,11 @@
    Operations:
    - "compile": lower + optimize (+ optionally interpret) one program —
      a MiniF source string or a built-in benchmark name — under a
-     requested (scheme, kind, impl, verify, fault) configuration.
+     requested (scheme, kind, impl, verify, oracle, fault) configuration
+     — "oracle": true additionally runs the Fourier-Motzkin elimination
+     sweep and the per-compile translation validator, whose verdict is
+     returned as "validated" (a refused certificate degrades the
+     response and feeds the breaker like a rolled-back pass).
      Results are served through a content-addressed Memo cache (same
      key discipline as the experiment harness: source + full
      Config.cache_key), so a warm daemon answers repeated requests
@@ -46,6 +50,9 @@ type compiled = {
   r_faults_injected : int;
   r_checks_before : int;
   r_checks_after : int;
+  r_validated : bool option;
+      (* [--oracle] requests: did the per-compile translation validator
+         certify every reference check site? [None] = not requested *)
   r_run : run_outcome option;
 }
 
@@ -68,7 +75,8 @@ type t = {
   state_path : string option; (* snapshot file for restart survival *)
 }
 
-let cache_version = "service-v1"
+(* v2: compiled cells gained [r_validated] (the --oracle certificate). *)
+let cache_version = "service-v2"
 
 let counted t f =
   Mutex.lock t.lock;
@@ -252,6 +260,7 @@ let compile_cell t ~src ~config ~want_run =
       r_faults_injected = stats.Core.Optimizer.faults_injected;
       r_checks_before = stats.Core.Optimizer.static_checks_before;
       r_checks_after = stats.Core.Optimizer.static_checks_after;
+      r_validated = Core.Optimizer.validated stats;
       r_run;
     }
   in
@@ -272,6 +281,7 @@ let handle_compile t req =
   let kind = parse_kind req in
   let impl = parse_impl req in
   let verify = Option.value ~default:true (Json.bool_member "verify" req) in
+  let oracle = Option.value ~default:false (Json.bool_member "oracle" req) in
   let fault = parse_fault req in
   let want_run = Option.value ~default:false (Json.bool_member "run" req) in
   let sname = Config.scheme_name scheme in
@@ -280,7 +290,7 @@ let handle_compile t req =
   let decision = if scheme = Config.NI then `Allow else Breaker.decide t.breaker ~now:(now ()) sname in
   let fallback = decision = `Fallback in
   let used_scheme = if fallback then Config.NI else scheme in
-  let config = Config.make ~scheme:used_scheme ~kind ~impl ~verify ?fault () in
+  let config = Config.make ~scheme:used_scheme ~kind ~impl ~verify ~oracle ?fault () in
   let t0 = Mclock.counter () in
   (* Only compiles at the REQUESTED scheme feed its breaker. *)
   let record_attempt ok =
@@ -304,15 +314,24 @@ let handle_compile t req =
         save_state t;
         raise e
   in
-  let ok = cell.r_incidents = [] in
+  (* A refused translation-validation certificate is a scheme failure
+     exactly like a rolled-back pass: the optimizer produced output it
+     could not prove safe, so the breaker hears about it. *)
+  let ok = cell.r_incidents = [] && cell.r_validated <> Some false in
   record_attempt ok;
   counted t (fun () ->
       t.compiles <- t.compiles + 1;
       if fallback then t.fallbacks <- t.fallbacks + 1;
       if not ok then t.degraded <- t.degraded + 1;
-      t.incidents_total <- t.incidents_total + List.length cell.r_incidents);
+      t.incidents_total <-
+        t.incidents_total
+        + List.length cell.r_incidents
+        + (if cell.r_validated = Some false then 1 else 0));
   save_state t;
   let degraded = (not ok) || fallback in
+  let validated_json =
+    match cell.r_validated with None -> Json.Null | Some b -> Json.Bool b
+  in
   Json.Obj
     ([
        ("status", Json.Str (if degraded then "degraded" else "ok"));
@@ -324,6 +343,8 @@ let handle_compile t req =
        ("kind", Json.Str (Config.kind_name kind));
        ("impl", Json.Str (Universe.mode_name impl));
        ("verify", Json.Bool verify);
+       ("oracle", Json.Bool oracle);
+       ("validated", validated_json);
        ("fault", Json.Str (Config.fault_name fault));
        ("breaker", Json.Str (Breaker.state_name (Breaker.state t.breaker sname)));
        ("fallback", Json.Bool fallback);
@@ -348,6 +369,19 @@ let handle_compile t req =
                    ];
                ]
              else [])
+           @ (if cell.r_validated = Some false then
+                [
+                  Json.Obj
+                    [
+                      ("pass", Json.Str "validate");
+                      ("cause", Json.Str "validation");
+                      ( "detail",
+                        Json.Str
+                          "translation validation refused the certificate: some \
+                           reference check site is no longer provably covered" );
+                    ];
+                ]
+              else [])
            @ List.map
                (fun (pass, cause, detail) ->
                  Json.Obj

@@ -12,6 +12,15 @@
    - [Unsafe_insert] re-inserts a check above a
      definition of one of its symbols           -> anticipatability
    - [Hang_fixpoint] spins on the ambient fuel  -> per-pass budget
+   - [Unsound_eliminate] deletes a live check   -> translation validator
+
+   [Unsound_eliminate] is deliberately invisible to every differential
+   rule: redundancy elimination is {e allowed} to delete checks, so the
+   deletion sails through the Elimination rule, and a trap-free run
+   cannot tell the difference either. Only the per-compile translation
+   validator ({!Validate}) — which must re-prove every reference check
+   site from what remains — can catch it, which is exactly what the
+   class exists to demonstrate.
 
    Every choice is driven by a caller-supplied seed through a small
    LCG, so a failing injection replays exactly from its seed. Faults
@@ -23,9 +32,23 @@
 module Check = Nascent_checks.Check
 open Types
 
-type cls = Drop_check | Weaken_check | Break_edge | Unsafe_insert | Hang_fixpoint
+type cls =
+  | Drop_check
+  | Weaken_check
+  | Break_edge
+  | Unsafe_insert
+  | Hang_fixpoint
+  | Unsound_eliminate
 
-let all_classes = [ Drop_check; Weaken_check; Break_edge; Unsafe_insert; Hang_fixpoint ]
+let all_classes =
+  [
+    Drop_check;
+    Weaken_check;
+    Break_edge;
+    Unsafe_insert;
+    Hang_fixpoint;
+    Unsound_eliminate;
+  ]
 
 let cls_name = function
   | Drop_check -> "drop-check"
@@ -33,6 +56,7 @@ let cls_name = function
   | Break_edge -> "break-edge"
   | Unsafe_insert -> "unsafe-insert"
   | Hang_fixpoint -> "hang-fixpoint"
+  | Unsound_eliminate -> "unsound-eliminate"
 
 let cls_of_name s =
   List.find_opt (fun c -> cls_name c = s) all_classes
@@ -43,7 +67,7 @@ let cls_of_name s =
    scheme's pipeline runs it. *)
 let target_pass = function
   | Drop_check | Weaken_check -> "strengthen"
-  | Break_edge | Hang_fixpoint -> "eliminate"
+  | Break_edge | Hang_fixpoint | Unsound_eliminate -> "eliminate"
   | Unsafe_insert -> "pre-insert"
 
 let hangs = function Hang_fixpoint -> true | _ -> false
@@ -193,6 +217,23 @@ let apply_unsafe_insert st (f : Func.t) =
       b.instrs <- insert_at j (Check { m with src_array = m.src_array }) b.instrs;
       true
 
+(* Delete a check the residual program still relies on: a {e fragile}
+   site ({!Validate.fragile_sites}) — a plain check whose constraint
+   the validator could not re-prove from its region's hypotheses with
+   the site itself excluded. The deletion is legal under every
+   differential rule — elimination may delete checks — so nothing rolls
+   back; the per-compile translation validator is the only mechanism
+   left that can notice the reference site is no longer covered.
+   Vacuous (returns [false]) when every remaining check is re-provable
+   without itself. *)
+let apply_unsound_eliminate st (f : Func.t) =
+  match Validate.fragile_sites f with
+  | [] -> false
+  | cs ->
+      let b, j = List.nth cs (pick st (List.length cs)) in
+      b.instrs <- remove_at j b.instrs;
+      true
+
 let apply ~seed cls (f : Func.t) : bool =
   let st = next_state (seed land 0x3FFFFFFF) in
   match cls with
@@ -201,3 +242,4 @@ let apply ~seed cls (f : Func.t) : bool =
   | Break_edge -> apply_break_edge st f
   | Unsafe_insert -> apply_unsafe_insert st f
   | Hang_fixpoint -> false (* not a structural corruption; see {!hangs} *)
+  | Unsound_eliminate -> apply_unsound_eliminate st f

@@ -15,6 +15,10 @@ type cls =
           caught by the anticipatability (safety) rule *)
   | Hang_fixpoint
       (** spin the pass forever — caught by the per-pass fuel budget *)
+  | Unsound_eliminate
+      (** delete a live (family-unique, not ambient-provable) check —
+          legal under every differential rule, caught only by the
+          per-compile translation validator ({!Validate}) *)
 
 val all_classes : cls list
 val cls_name : cls -> string

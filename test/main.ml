@@ -3,6 +3,7 @@ let () =
     [
       ("support", Test_support.suite);
       ("checks", Test_checks.suite);
+      ("oracle", Test_oracle.suite);
       ("frontend", Test_frontend.suite);
       ("analysis", Test_analysis.suite);
       ("ir", Test_ir.suite);

@@ -24,9 +24,15 @@ let scheme_for = function
   | Mutate.Drop_check | Mutate.Weaken_check -> Config.CS
   | Mutate.Unsafe_insert -> Config.SE
   | Mutate.Break_edge | Mutate.Hang_fixpoint -> Config.LLS
+  | Mutate.Unsound_eliminate -> Config.NI
 
+(* [Unsound_eliminate] is the class no differential rule can see; its
+   cells compile with the oracle on so the translation validator — the
+   only net that catches it — actually runs. *)
 let fault_config ?(scheme = Config.LLS) cls seed =
-  Config.make ~scheme ~fault:{ Mutate.cls; seed } ()
+  Config.make ~scheme
+    ~fault:{ Mutate.cls; seed }
+    ~oracle:(cls = Mutate.Unsound_eliminate) ()
 
 (* --- rollback restores the pre-pass IR byte-for-byte ------------------- *)
 
@@ -72,7 +78,13 @@ let test_restore_after_each_mutation () =
                 (Ir.Printer.func_to_string f))
             ir)
         B.all)
-    [ Mutate.Drop_check; Mutate.Weaken_check; Mutate.Break_edge; Mutate.Unsafe_insert ]
+    [
+      Mutate.Drop_check;
+      Mutate.Weaken_check;
+      Mutate.Break_edge;
+      Mutate.Unsafe_insert;
+      Mutate.Unsound_eliminate;
+    ]
 
 (* --- the per-class matrix: caught, rolled back, recovered -------------- *)
 
@@ -92,19 +104,32 @@ let test_class_matrix () =
           let where = Fmt.str "%s under %a" b.B.name Config.pp config in
           if stats.Optimizer.faults_injected > 0 then begin
             injected_somewhere := true;
-            (* detected: the corruption drew at least one incident,
-               attributed to the targeted pass, with the right cause *)
-            (match stats.Optimizer.incidents with
-            | [] -> Alcotest.failf "%s: injected fault drew no incident" where
-            | is ->
-                Alcotest.(check bool)
-                  (where ^ ": incident names the targeted pass")
-                  true
-                  (List.exists
-                     (fun i ->
-                       i.Optimizer.inc_pass = Mutate.target_pass cls
-                       && i.Optimizer.inc_cause = expected_cause cls)
-                     is));
+            (if cls = Mutate.Unsound_eliminate then begin
+               (* invisible to every pass rule: nothing may roll back,
+                  and the translation validator must refuse the
+                  certificate *)
+               Alcotest.(check int)
+                 (where ^ ": unsound deletion draws no pass incident")
+                 0
+                 (List.length stats.Optimizer.incidents);
+               Alcotest.(check (option bool))
+                 (where ^ ": translation validator refuses the certificate")
+                 (Some false) (Optimizer.validated stats)
+             end
+             else
+               (* detected: the corruption drew at least one incident,
+                  attributed to the targeted pass, with the right cause *)
+               match stats.Optimizer.incidents with
+               | [] -> Alcotest.failf "%s: injected fault drew no incident" where
+               | is ->
+                   Alcotest.(check bool)
+                     (where ^ ": incident names the targeted pass")
+                     true
+                     (List.exists
+                        (fun i ->
+                          i.Optimizer.inc_pass = Mutate.target_pass cls
+                          && i.Optimizer.inc_cause = expected_cause cls)
+                        is));
             (* recovered: the output is valid IR... *)
             (match Ir.Verify.program opt with
             | [] -> ()
@@ -175,6 +200,55 @@ let test_fuel_deterministic () =
   Alcotest.(check int) "exhausts exactly at budget" 99 (burn 100);
   Alcotest.(check int) "replays identically" (burn 50) (burn 50)
 
+(* --- unsound elimination: only the validator can see it ---------------- *)
+
+(* The class the whole translation-validation tentpole exists for: a
+   deleted live check is legal under every differential rule (deletion
+   is what redundancy elimination does) and invisible to a trap-free
+   run, so across benchmarks, schemes and seeds the only acceptable
+   outcome is: no incident, certificate refused. A seed that finds no
+   applicable site is vacuous and proves nothing, so the test also
+   demands the fault applied somewhere. *)
+let test_validator_catches_unsound_eliminate () =
+  let applied = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun (b : B.benchmark) ->
+              let ir = ir_of_source b.B.source in
+              let config = fault_config ~scheme Mutate.Unsound_eliminate seed in
+              let opt, stats = Optimizer.optimize ~config ir in
+              let where =
+                Fmt.str "%s under %a seed %d" b.B.name Config.pp config seed
+              in
+              if stats.Optimizer.faults_injected > 0 then begin
+                incr applied;
+                Alcotest.(check int)
+                  (where ^ ": no pass rule caught the deletion")
+                  0
+                  (List.length stats.Optimizer.incidents);
+                Alcotest.(check (option bool))
+                  (where ^ ": validator refuses the certificate")
+                  (Some false) (Optimizer.validated stats);
+                (* the corrupted program still runs clean — exactly why
+                   behaviour differencing cannot replace the validator *)
+                let o = Run.run opt in
+                Alcotest.(check bool)
+                  (where ^ ": corruption is behaviourally silent")
+                  true
+                  (o.Run.printed = (Run.run ir).Run.printed)
+              end
+              else
+                Alcotest.(check (option bool))
+                  (where ^ ": clean compile keeps its certificate")
+                  (Some true) (Optimizer.validated stats))
+            [ List.nth B.all 0; List.nth B.all 3; List.nth B.all 9 ])
+        [ Config.NI; Config.LLS ])
+    [ 1; 7; 42; 1999 ];
+  Alcotest.(check bool) "fault applied at least once (not vacuous)" true (!applied > 0)
+
 (* --- incident accounting ----------------------------------------------- *)
 
 let test_stats_json_reports_incidents () =
@@ -206,6 +280,16 @@ let test_stats_json_reports_incidents () =
 let prop_faults_never_escape =
   QCheck.Test.make ~name:"random seeded faults never escape" ~count:60
     (QCheck.make
+       ~print:(fun (bi, ci, seed, si) ->
+         let cls = List.nth Mutate.all_classes ci in
+         let scheme =
+           if cls = Mutate.Unsound_eliminate then
+             List.nth [ Config.NI; Config.LLS ] (si mod 2)
+           else List.nth Config.extended_schemes si
+         in
+         Fmt.str "%s %s seed=%d %s"
+           (List.nth B.all bi).B.name (Mutate.cls_name cls) seed
+           (Config.scheme_name scheme))
        QCheck.Gen.(
          quad
            (int_bound (List.length B.all - 1))
@@ -215,11 +299,20 @@ let prop_faults_never_escape =
     (fun (bi, ci, seed, si) ->
       let b = List.nth B.all bi in
       let cls = List.nth Mutate.all_classes ci in
-      let scheme = List.nth Config.extended_schemes si in
+      let scheme =
+        (* unsound-eliminate's guarantee only holds for schemes whose
+           residual in-place checks are reference checks (the CLI's
+           fault matrix restricts it the same way) *)
+        if cls = Mutate.Unsound_eliminate then
+          List.nth [ Config.NI; Config.LLS ] (si mod 2)
+        else List.nth Config.extended_schemes si
+      in
       let ir = ir_of_source b.B.source in
       let opt, stats = Optimizer.optimize ~config:(fault_config ~scheme cls seed) ir in
       let detected =
-        stats.Optimizer.faults_injected = 0 || stats.Optimizer.incidents <> []
+        stats.Optimizer.faults_injected = 0
+        || stats.Optimizer.incidents <> []
+        || Optimizer.validated stats = Some false
       in
       detected
       && Ir.Verify.program opt = []
@@ -231,6 +324,7 @@ let suite =
     tc "restore_func round-trips each mutation" test_restore_after_each_mutation;
     tc "every fault class caught and recovered" test_class_matrix;
     tc "hang degrades to the safe NI floor" test_hang_degrades_to_safe;
+    tc "validator catches unsound elimination" test_validator_catches_unsound_eliminate;
     tc "fuel exhaustion is deterministic" test_fuel_deterministic;
     tc "stats json reports incidents" test_stats_json_reports_incidents;
     QCheck_alcotest.to_alcotest prop_faults_never_escape;

@@ -87,7 +87,7 @@ let incidents resp =
   | _ -> Alcotest.failf "response lacks incidents list: %s" (Json.to_string resp)
 
 let compile_req ?(id = Json.Int 0) ?(scheme = "LLS") ?fault ?deadline_ms
-    ?(run = false) benchmark =
+    ?(run = false) ?oracle benchmark =
   Json.Obj
     ([
        ("id", id);
@@ -96,6 +96,7 @@ let compile_req ?(id = Json.Int 0) ?(scheme = "LLS") ?fault ?deadline_ms
        ("scheme", Json.Str scheme);
        ("run", Json.Bool run);
      ]
+    @ (match oracle with None -> [] | Some b -> [ ("oracle", Json.Bool b) ])
     @ (match fault with None -> [] | Some f -> [ ("fault", Json.Str f) ])
     @
     match deadline_ms with
@@ -125,6 +126,35 @@ let test_compile_ok () =
   (* same request again: served from the result cache *)
   let again = request_exn conn (compile_req ~id:(Json.Int 43) ~run:true "vortex") in
   Alcotest.(check bool) "second compile cached" true (bfield again "cached")
+
+(* The --oracle axis end to end: a clean compile returns the
+   translation-validation certificate; an unsound deletion (the fault
+   class no pass rule can see) refuses it, degrades the response, and
+   surfaces a "validate" incident. *)
+let test_compile_oracle_certificate () =
+  with_service @@ fun path _ ->
+  Client.with_conn path @@ fun conn ->
+  let resp = request_exn conn (compile_req ~id:(Json.Int 1) ~oracle:true "trfd") in
+  Alcotest.(check string) "status ok" "ok" (sfield resp "status");
+  Alcotest.(check bool) "oracle echoed" true (bfield resp "oracle");
+  Alcotest.(check bool) "certificate granted" true (bfield resp "validated");
+  let plain = request_exn conn (compile_req ~id:(Json.Int 2) "trfd") in
+  Alcotest.(check bool) "no certificate without oracle" true
+    (Json.member "validated" plain = Some Json.Null);
+  let bad =
+    request_exn conn
+      (compile_req ~id:(Json.Int 3) ~scheme:"NI" ~oracle:true
+         ~fault:"unsound-eliminate:1" "trfd")
+  in
+  Alcotest.(check string) "refused certificate degrades" "degraded"
+    (sfield bad "status");
+  Alcotest.(check int) "degraded exit code" 4 (ifield bad "code");
+  Alcotest.(check bool) "fault applied" true (ifield bad "faults_injected" > 0);
+  Alcotest.(check bool) "certificate refused" false (bfield bad "validated");
+  Alcotest.(check bool) "validation incident surfaced" true
+    (List.exists
+       (fun i -> Json.str_member "pass" i = Some "validate")
+       (incidents bad))
 
 let test_status_shape () =
   with_service @@ fun path _ ->
@@ -696,6 +726,7 @@ let test_mem_abort_is_retryable () =
 let suite =
   [
     Util.tc "compile request round-trips" test_compile_ok;
+    Util.tc "oracle certificate round-trips" test_compile_oracle_certificate;
     Util.tc "status reports the full picture" test_status_shape;
     Util.tc "bad inputs get structured errors" test_bad_inputs;
     Util.tc "handler exception is isolated" test_handler_exception_isolated;

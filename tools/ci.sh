@@ -42,6 +42,11 @@ done
 # plain compile answers ok (exit 0)
 client vortex >/dev/null || fail "service compile exited $?, want 0"
 
+# an oracle compile answers ok and carries its validation certificate
+OUT=$(client trfd --oracle) || fail "oracle compile exited $?, want 0"
+echo "$OUT" | grep -q '"validated":true' \
+    || fail "oracle compile response lacks \"validated\":true: $OUT"
+
 # status answers inline (exit 0)
 client --status >/dev/null || fail "service status exited $?, want 0"
 
