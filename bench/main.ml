@@ -398,6 +398,200 @@ let run_service () =
   Nascent_support.Guard.write_atomic ~path:service_json_path json;
   Printf.printf "wrote %s\n%!" service_json_path
 
+(* --- tiers: instant floor, background upgrade, fault containment ------- *)
+
+let tiers_json_path = "BENCH_tiers.json"
+
+(* The tentpole quantified: a cold cache miss answered from the NI
+   floor must cost about as much as a warm NI hit (the acceptance bar
+   is 2x — both are one cache operation plus the round trip), the
+   background upgrade must land promptly, and a fault-injected upgrade
+   must degrade to a served floor with a recorded incident, never an
+   error or a stall. The daemon runs in-process with the background
+   lane wired exactly as nascentd wires it; floor and optimized
+   artifacts are additionally checked observably identical (same
+   trap/error under the interpreter). *)
+let run_tiers () =
+  let module Server = Nascent_support.Server in
+  let module Service = Nascent_harness.Service in
+  let module Json = Nascent_support.Json in
+  let module Client = Nascent_support.Server.Client in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nascent-tiers-%d.sock" (Unix.getpid ()))
+  in
+  let cfg = { (Server.default_config ~socket_path:path) with Server.jobs = 2 } in
+  let service = Service.create ~breaker_threshold:3 () in
+  let srv = Server.create cfg (Service.handler service) in
+  Service.set_upgrade_submit service (Server.submit_background srv);
+  let runner = Thread.create (fun () -> Server.run srv) () in
+  let rec wait n =
+    if n = 0 then failwith "bench tiers: daemon socket never appeared"
+    else if not (Sys.file_exists path) then begin
+      Unix.sleepf 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  let req ?fault ~scheme name =
+    Json.Obj
+      ([
+         ("op", Json.Str "compile");
+         ("benchmark", Json.Str name);
+         ("scheme", Json.Str scheme);
+         ("run", Json.Bool true);
+       ]
+      @ match fault with None -> [] | Some f -> [ ("fault", Json.Str f) ])
+  in
+  let exchange conn r =
+    match Client.request conn r with
+    | Ok resp -> resp
+    | Error e -> fail "request failed: %s" e
+  in
+  let timed conn r =
+    let t0 = Mclock.counter () in
+    let resp = exchange conn r in
+    (Mclock.elapsed_s t0, resp)
+  in
+  let sfield resp name =
+    match Json.str_member name resp with
+    | Some s -> s
+    | None -> fail "response lacks %s: %s" name (Json.to_string resp)
+  in
+  let median xs =
+    let a = List.sort compare xs in
+    List.nth a (List.length a / 2)
+  in
+  let names = List.map (fun b -> b.B.name) B.all in
+  let warm_reps = 20 in
+  let within, ratio =
+    Client.with_conn path @@ fun conn ->
+    (* 1. Warm the NI floor cells, then measure the warm NI hit. *)
+  List.iter (fun n -> ignore (exchange conn (req ~scheme:"NI" n))) names;
+  let warm_ni =
+    median
+      (List.concat_map
+         (fun n ->
+           List.init warm_reps (fun _ -> fst (timed conn (req ~scheme:"NI" n))))
+         names)
+  in
+  (* 2. Cold miss at the requested scheme: served from the floor. *)
+  let cold_samples =
+    List.map
+      (fun n ->
+        let dt, resp = timed conn (req ~scheme:"LLS" n) in
+        if sfield resp "tier" <> "floor" then
+          fail "%s: cold miss served tier %s, want floor" n (sfield resp "tier");
+        (n, dt, resp))
+      names
+  in
+  let cold_floor = median (List.map (fun (_, dt, _) -> dt) cold_samples) in
+  (* 3. Poll each request until the background upgrade hot-swaps it. *)
+  let time_to_optimized =
+    List.map
+      (fun (n, _, floor_resp) ->
+        let t0 = Mclock.counter () in
+        let rec poll () =
+          let resp = exchange conn (req ~scheme:"LLS" n) in
+          match sfield resp "tier" with
+          | "optimized" -> (Mclock.elapsed_s t0, resp)
+          | _ when Mclock.elapsed_s t0 > 60.0 ->
+              fail "%s: upgrade did not land within 60s" n
+          | _ ->
+              Unix.sleepf 0.005;
+              poll ()
+        in
+        let dt, opt_resp = poll () in
+        (* Floor and optimized artifacts must be observably identical:
+           fewer checks, same interpreter outcome. *)
+        let run_of resp =
+          match Json.member "run" resp with
+          | Some r -> (Json.str_member "trap" r, Json.str_member "error" r)
+          | None -> fail "%s: response lacks a run object" n
+        in
+        if run_of floor_resp <> run_of opt_resp then
+          fail "%s: floor and optimized runs diverge observably" n;
+        dt)
+      cold_samples
+  in
+  (* 4. The whole matrix upgraded: measure the warm optimized hit. *)
+  let warm_opt =
+    median
+      (List.concat_map
+         (fun n ->
+           List.init warm_reps (fun _ ->
+               let dt, resp = timed conn (req ~scheme:"LLS" n) in
+               if sfield resp "tier" <> "optimized" then
+                 fail "%s: warm request regressed to tier %s" n (sfield resp "tier");
+               dt))
+         names)
+  in
+  (* 5. Fault containment: an injected upgrade fault degrades to a
+     served floor with a recorded incident — no error, no stall. *)
+  let fresp = exchange conn (req ~scheme:"CS" ~fault:"drop-check:7" "vortex") in
+  if sfield fresp "status" = "error" then
+    fail "fault-injected request errored: %s" (Json.to_string fresp);
+  if sfield fresp "tier" <> "floor" then
+    fail "fault-injected request served tier %s, want floor" (sfield fresp "tier");
+  let status_req = Json.Obj [ ("op", Json.Str "status") ] in
+  let upgrades_failed st =
+    match Json.member "upgrades" st with
+    | Some o -> ( match Json.int_member "failed" o with Some n -> n | None -> 0)
+    | None -> 0
+  in
+  let t0 = Mclock.counter () in
+  let rec wait_failed () =
+    let st = exchange conn status_req in
+    if upgrades_failed st >= 1 then st
+    else if Mclock.elapsed_s t0 > 60.0 then
+      fail "fault-injected upgrade never recorded its failure"
+    else begin
+      Unix.sleepf 0.01;
+      wait_failed ()
+    end
+  in
+  let st = wait_failed () in
+  let fresp2 = exchange conn (req ~scheme:"CS" ~fault:"drop-check:7" "vortex") in
+  if sfield fresp2 "tier" <> "floor" then
+    fail "faulted cell upgraded to tier %s, want a kept floor" (sfield fresp2 "tier");
+  let ttodo_max = List.fold_left Float.max 0.0 time_to_optimized in
+  let ratio = cold_floor /. warm_ni in
+  let within = ratio <= 2.0 in
+  Printf.printf
+    "\ntiers (%d benchmarks): warm NI hit %.3f ms, cold-miss floor %.3f ms \
+     (%.2fx%s), time-to-optimized max %.3f s, warm optimized %.3f ms\n\
+     tiers fault containment: injected upgrade fault -> tier:floor kept, \
+     %d failed upgrade(s) recorded, no client error\n\
+     %!"
+    (List.length names) (1000.0 *. warm_ni) (1000.0 *. cold_floor) ratio
+    (if within then "" else " — OVER THE 2x BAR")
+    ttodo_max (1000.0 *. warm_opt) (upgrades_failed st);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmarks\": %d,\n\
+      \  \"warm_ni_hit_ms\": %.6f,\n\
+      \  \"cold_floor_ms\": %.6f,\n\
+      \  \"floor_over_warm_ni\": %.4f,\n\
+      \  \"floor_within_2x\": %b,\n\
+      \  \"time_to_optimized_max_s\": %.6f,\n\
+      \  \"warm_optimized_ms\": %.6f,\n\
+      \  \"fault_upgrades_failed\": %d,\n\
+      \  \"fault_tier_served\": \"%s\"\n\
+       }\n"
+      (List.length names) (1000.0 *. warm_ni) (1000.0 *. cold_floor) ratio
+      within ttodo_max (1000.0 *. warm_opt) (upgrades_failed st)
+      (sfield fresp2 "tier")
+  in
+  Nascent_support.Guard.write_atomic ~path:tiers_json_path json;
+    Printf.printf "wrote %s\n%!" tiers_json_path;
+    (within, ratio)
+  in
+  Server.stop srv;
+  Thread.join runner;
+  if not within then fail "cold-miss floor %.2fx the warm NI hit (bar: 2x)" ratio
+
 (* --- Bechamel: one Test.make per table ------------------------------- *)
 
 let bech_tests () =
@@ -490,10 +684,17 @@ let () =
     | "canon" -> run_canon ()
     | "extensions" -> run_extensions ()
     | "tables" -> run_tables ()
-    | "check-determinism" -> run_check_determinism ()
+    | "check-determinism" ->
+        run_check_determinism ();
+        (* The tier ladder is part of the determinism contract: a floor
+           response and its upgraded replacement must be observably
+           identical artifacts of the same source, and the
+           latency/containment record regenerates alongside it. *)
+        run_tiers ()
     | "oracle-diff" -> run_oracle_differential ()
     | "speedup" -> run_speedup ()
     | "service" -> run_service ()
+    | "tiers" -> run_tiers ()
     | "bech" -> run_bech ()
     | "all" ->
         run_tables ();

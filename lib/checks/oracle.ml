@@ -163,6 +163,12 @@ module Key_set = Set.Make (Int)
    goal's cannot participate in a refutation, and dropping it up front
    keeps elimination from burning fuel on irrelevant constraints. *)
 let slice ~(hyps : Check.t list) (goal : Check.t) : Check.t list =
+  (* A constant hypothesis (empty atom set) never "touches" anything,
+     but must survive the slice: when false (0 <= -1) it refutes the
+     whole system by itself — [prepare] raises Refuted on it — and when
+     true it is dropped for free. Slicing it away would lose exactly
+     the Farkas certificates built on a contradictory hypothesis. *)
+  let constant, hyps = List.partition (fun h -> Check.atom_keys h = []) hyps in
   let rec grow keys pending kept =
     let touching, rest =
       List.partition
@@ -179,7 +185,7 @@ let slice ~(hyps : Check.t list) (goal : Check.t) : Check.t list =
         in
         grow keys rest (List.rev_append touching kept)
   in
-  grow (Key_set.of_list (Check.atom_keys goal)) hyps []
+  grow (Key_set.of_list (Check.atom_keys goal)) hyps constant
 
 (* not(e <= k) = (e > k) = (-e <= -k-1). *)
 let negate (c : Check.t) : Check.t =
@@ -202,4 +208,17 @@ let implies ~hyps (goal : Check.t) : bool =
   ||
   match negate goal with
   | exception Linexpr.Overflow -> false
-  | ng -> unsat (ng :: slice ~hyps goal)
+  | ng ->
+      let connected = slice ~hyps goal in
+      unsat (ng :: connected)
+      || (* The sliced-away hypotheses share no atoms with the goal's
+            component, so they cannot interact with [ng] — but they can
+            be unsatisfiable among THEMSELVES, and a contradictory
+            hypothesis set implies everything. Variable-disjoint blocks
+            are unsat iff some block is: checking the remainder
+            separately restores exactly the refutations the slice
+            removed, and costs nothing when the slice kept every
+            hypothesis. *)
+      (match List.filter (fun h -> not (List.memq h connected)) hyps with
+      | [] -> false
+      | rest -> unsat rest)
