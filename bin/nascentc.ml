@@ -658,10 +658,24 @@ let cmd_client =
     Arg.(
       value
       & opt string (default_socket ())
-      & info [ "connect" ] ~docv:"SOCK"
+      & info [ "connect" ] ~docv:"ADDR"
           ~doc:
-            "Socket path of the nascentd instance. Defaults to \
-             $(b,NASCENT_SOCKET) or $(b,TMPDIR/nascentd.sock).")
+            "Address of the nascentd instance: a Unix socket path \
+             (line-delimited JSON), or HOST:PORT for the NF1 framed TCP \
+             transport — a shard router is just a daemon at such an \
+             address. Defaults to $(b,NASCENT_SOCKET) or \
+             $(b,TMPDIR/nascentd.sock).")
+  in
+  let recv_timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "recv-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-attempt receive budget: a response not arriving within \
+             $(docv) abandons the connection and retries on a fresh one \
+             (a stalled or silently dead peer costs a bounded wait, not a \
+             hang). Omitted: wait indefinitely.")
   in
   let status_arg =
     Arg.(
@@ -785,8 +799,8 @@ let cmd_client =
      — bg_pending/bg_inflight are the server lane, upgrades.pending the
      service's in-flight set; all three at zero means no upgrade is
      queued, running, or reserved. *)
-  let run_prewarm ~socket ~config ~policy ~seed ~deadline ~max_wait_ms
-      ~stats_json =
+  let run_prewarm ~socket ~config ~policy ~seed ~recv_timeout_s ~deadline
+      ~max_wait_ms ~stats_json =
     let budget_s = float_of_int (Option.value ~default:120_000 max_wait_ms) /. 1000.0 in
     let t0 = Mclock.counter () in
     let failures = ref 0 in
@@ -813,7 +827,7 @@ let cmd_client =
              ]
             @ deadline)
         in
-        match Client.request_retry ~policy ~seed socket req with
+        match Client.request_retry ~policy ?recv_timeout_s ~seed socket req with
         | Ok resp ->
             if Json.str_member "status" resp = Some "error" then begin
               incr failures;
@@ -828,7 +842,7 @@ let cmd_client =
       Json.Obj [ ("id", Json.Str "prewarm"); ("op", Json.Str "status") ]
     in
     let rec poll () =
-      match Client.request_retry ~policy ~seed socket status_req with
+      match Client.request_retry ~policy ?recv_timeout_s ~seed socket status_req with
       | Error msg ->
           Fmt.epr "nascentc: prewarm status: %s@." msg;
           7
@@ -864,7 +878,10 @@ let cmd_client =
     poll ()
   in
   let run file socket status burn prewarm tier config want_run deadline_ms
-      retries seed max_wait_ms stats_json =
+      retries seed max_wait_ms recv_timeout_ms stats_json =
+    let recv_timeout_s =
+      Option.map (fun ms -> float_of_int (max 1 ms) /. 1000.0) recv_timeout_ms
+    in
     if prewarm then
       let policy = { Retry.default with Retry.max_attempts = max 1 retries } in
       let deadline =
@@ -872,8 +889,8 @@ let cmd_client =
         | None -> []
         | Some ms -> [ ("deadline_ms", Json.Int ms) ]
       in
-      run_prewarm ~socket ~config ~policy ~seed ~deadline ~max_wait_ms
-        ~stats_json
+      run_prewarm ~socket ~config ~policy ~seed ~recv_timeout_s ~deadline
+        ~max_wait_ms ~stats_json
     else
     let req_fields =
       if status then Some [ ("op", Json.Str "status") ]
@@ -925,7 +942,10 @@ let cmd_client =
         let max_elapsed_s =
           Option.map (fun ms -> float_of_int (max 0 ms) /. 1000.0) max_wait_ms
         in
-        (match Client.request_retry ~policy ?max_elapsed_s ~seed socket req with
+        (match
+           Client.request_retry ~policy ?max_elapsed_s ?recv_timeout_s ~seed
+             socket req
+         with
         | Ok resp ->
             Fmt.pr "%s@." (Json.to_string resp);
             (match stats_json with
@@ -942,7 +962,8 @@ let cmd_client =
     Term.(
       const run $ file_opt_arg $ socket_arg $ status_arg $ burn_arg
       $ prewarm_arg $ tier_arg $ config_term $ run_flag_arg $ deadline_arg
-      $ retries_arg $ seed_arg $ max_wait_arg $ client_stats_arg)
+      $ retries_arg $ seed_arg $ max_wait_arg $ recv_timeout_arg
+      $ client_stats_arg)
 
 let cmd_list =
   let doc = "List the built-in benchmark programs." in

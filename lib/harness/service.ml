@@ -91,6 +91,9 @@ type t = {
       (* the server's background lane, wired after both exist
          (Server.create needs the handler, the handler needs [t]) *)
   state_path : string option; (* snapshot file for restart survival *)
+  shard_name : string option;
+      (* identity behind a shard router, echoed as the "shard" status
+         field so one status sweep tells which daemon answered *)
 }
 
 (* v3: compiled cells gained [r_floor] (tiered compilation).
@@ -212,7 +215,7 @@ let load_state t path =
           Breaker.restore t.breaker ~now:(Mclock.elapsed_s t.clock) entries)
 
 let create ?(breaker_threshold = 3) ?(breaker_cooldown_s = 2.0) ?state_path
-    ?cache_dir () =
+    ?cache_dir ?shard_name () =
   let t =
     {
       breaker = Breaker.create ~threshold:breaker_threshold ~cooldown_s:breaker_cooldown_s ();
@@ -233,6 +236,7 @@ let create ?(breaker_threshold = 3) ?(breaker_cooldown_s = 2.0) ?state_path
       upgrading = Hashtbl.create 16;
       submit_bg = None;
       state_path;
+      shard_name;
     }
   in
   Option.iter (load_state t) state_path;
@@ -801,7 +805,10 @@ let status_extra t () =
           oldest ))
   in
   let cache = Memo.stats t.cache in
-  [
+  (match t.shard_name with
+  | None -> []
+  | Some n -> [ ("shard", Json.Str n) ])
+  @ [
     ("compiles", Json.Int compiles);
     ("degraded", Json.Int degraded);
     ("fallbacks", Json.Int fallbacks);

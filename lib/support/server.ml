@@ -1,7 +1,10 @@
-(* Compile-as-a-service transport: a long-running Unix-domain-socket
-   server speaking newline-delimited JSON, robust by construction.
+(* Compile-as-a-service transport, robust by construction: a
+   Unix-domain socket speaking newline-delimited JSON, plus an optional
+   TCP listener speaking the NF1 framed protocol (Frame) with
+   per-connection pipelining — many in-flight requests tagged by frame
+   id on one socket, responses written in completion order.
 
-   Layering: this module owns everything about *serving* — the socket,
+   Layering: this module owns everything about *serving* — the sockets,
    connection reader threads, the bounded request queue (admission
    control), worker domains with crash supervision, per-request
    wall-clock deadlines layered on Guard fuel, drain-on-stop, and the
@@ -36,6 +39,15 @@
      fd pressure, ...) are counted and absorbed — the accept loop backs
      off briefly on fd exhaustion and keeps serving instead of crashing
      the daemon with admitted requests still queued;
+   - network failure domain: a slow-loris peer cannot wedge a reader or
+     leak a connection record — a frame (or line) that stays incomplete
+     past [io_deadline_s] closes the connection (io_timeouts), a
+     connected-but-silent client is reaped after [idle_timeout_s]
+     (idle_closed), a response write blocked past the I/O budget gives
+     up (the peer is not draining), torn/oversized/garbage frames are
+     terminal for their connection only (frame_errors), and a legacy or
+     version-mismatched client on the TCP port gets one clear error
+     line and a close (proto_rejects) instead of a hang;
    - graceful drain: [stop] (wired to SIGTERM/SIGINT by nascentd) stops
      accepting, sheds NEW requests with {"code":"shutting-down",
      "retryable":true}, finishes every admitted request, flushes
@@ -51,6 +63,9 @@ type handler = {
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (* additional TCP listener (host, port; port 0 = ephemeral),
+         speaking the NF1 framed protocol *)
   jobs : int; (* worker domains *)
   queue_depth : int; (* admission bound on queued requests *)
   default_deadline_s : float option; (* per-request wall budget *)
@@ -59,17 +74,28 @@ type config = {
       (* write-ahead log: admitted requests are recorded before a
          worker touches them and replayed by [run] after a crash *)
   restarts : int; (* supervisor restart count, reported in status *)
+  idle_timeout_s : float option;
+      (* reap a connected-but-silent client (no partial input, no
+         response owed) after this long without a byte *)
+  io_deadline_s : float option;
+      (* slow-loris bound: a frame/line that stays incomplete this
+         long closes the connection; also the response-write budget *)
+  max_frame_bytes : int; (* frame payload / request line cap *)
 }
 
 let default_config ~socket_path =
   {
     socket_path;
+    tcp = None;
     jobs = 2;
     queue_depth = 64;
     default_deadline_s = Some 30.0;
     request_fuel = Some 50_000_000;
     journal = None;
     restarts = 0;
+    idle_timeout_s = None;
+    io_deadline_s = Some 10.0;
+    max_frame_bytes = Frame.default_max_payload;
   }
 
 type counters = {
@@ -89,7 +115,20 @@ type counters = {
   mutable bg_retried : int; (* background re-enqueues (backoff) *)
   mutable bg_dropped : int; (* background jobs abandoned after retries *)
   mutable bg_shed : int; (* background submissions refused *)
+  mutable proto_rejects : int; (* legacy / version-mismatched TCP clients *)
+  mutable idle_closed : int; (* silent connections reaped *)
+  mutable frame_errors : int; (* torn / oversized / garbage frames *)
+  mutable io_timeouts : int; (* mid-frame read or response-write overruns *)
 }
+
+(* What the reader thread is parsing on this connection. UDS starts (and
+   stays) in line mode; a TCP connection starts in sniff mode until its
+   first bytes prove it speaks NF1 — anything else is answered with one
+   clear error line and closed (proto_rejects), never left hanging. *)
+type proto =
+  | P_line of Buffer.t (* newline-JSON accumulator *)
+  | P_sniff of Buffer.t (* TCP, transport not yet identified *)
+  | P_framed of Frame.decoder
 
 type conn = {
   fd : Unix.file_descr;
@@ -98,12 +137,18 @@ type conn = {
   mutable pending : int; (* admitted jobs that will answer on this conn *)
   mutable eof : bool; (* reader finished: no more requests coming *)
   mutable closed : bool; (* fd closed — never touch it again (fd reuse) *)
+  (* reader-thread private state — no lock needed *)
+  mutable proto : proto;
+  mutable greeted : bool; (* framed: hello exchanged *)
+  mutable last_rx : float; (* uptime at the last byte received *)
+  mutable in_started : float option; (* uptime when partial input began *)
 }
 
 type job = {
   jconn : conn;
   jid : Json.t;
   jreq : Json.t;
+  jframe : int option; (* NF1 frame id to tag the response with *)
   jdeadline : Guard.deadline option;
   jseq : int option; (* journal sequence number, when journaling *)
 }
@@ -142,6 +187,7 @@ type t = {
   stop_w : Unix.file_descr;
   mutable conns : conn list;
   mutable readers : Thread.t list;
+  mutable tcp_bound : int option; (* actual TCP port once bound *)
 }
 
 let create cfg handler =
@@ -177,15 +223,21 @@ let create cfg handler =
         bg_retried = 0;
         bg_dropped = 0;
         bg_shed = 0;
+        proto_rejects = 0;
+        idle_closed = 0;
+        frame_errors = 0;
+        io_timeouts = 0;
       };
     started = Mclock.counter ();
     stop_r;
     stop_w;
     conns = [];
     readers = [];
+    tcp_bound = None;
   }
 
 let uptime_s t = Mclock.elapsed_s t.started
+let tcp_port t = t.tcp_bound
 
 (* Callable from a signal handler: no locks, just a flag and a
    self-pipe write to break the accept loop out of select(). *)
@@ -236,21 +288,42 @@ let conn_release t conn =
 
 (* --- responses --------------------------------------------------------- *)
 
+(* Whole-string write, restarted across EINTR and short writes: a
+   signal landing mid-response must never tear a frame or a line. *)
 let write_all fd s =
   let n = String.length s in
-  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | w -> go (off + w)
+  in
   go 0
 
 (* Best-effort response write: a client that hung up loses its answer,
-   nobody else does (EPIPE never escapes into a worker). *)
-let answer conn (json : Json.t) =
+   nobody else does (EPIPE never escapes into a worker). With an I/O
+   deadline configured the socket carries SO_SNDTIMEO, so a peer that
+   stops draining its responses surfaces here as EAGAIN — the write
+   gives up, the connection dies, and the overrun is counted instead of
+   parking a worker on a full socket buffer forever. [frame] tags the
+   response for the NF1 transport; [None] writes a JSON line. *)
+let answer t ?frame conn (json : Json.t) =
+  let timed_out = ref false in
   Mutex.lock conn.wlock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.wlock)
-    (fun () ->
-      if conn.alive then
-        try write_all conn.fd (Json.to_string json ^ "\n")
-        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+  (if conn.alive then
+     let s =
+       match frame with
+       | Some fid -> Frame.encode ~id:fid (Json.to_string json)
+       | None -> Json.to_string json ^ "\n"
+     in
+     try write_all conn.fd s with
+     | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+         conn.alive <- false;
+         timed_out := true
+     | Unix.Unix_error _ | Sys_error _ -> conn.alive <- false);
+  Mutex.unlock conn.wlock;
+  (* counter update outside wlock: t.lock and conn.wlock never nest *)
+  if !timed_out then locked t (fun () -> t.c.io_timeouts <- t.c.io_timeouts + 1)
 
 let error_response ~id ~code ?(retryable = false) detail =
   Json.Obj
@@ -320,6 +393,12 @@ let status_response t ~id =
        ("bg_retried", Json.Int c.bg_retried);
        ("bg_dropped", Json.Int c.bg_dropped);
        ("bg_shed", Json.Int c.bg_shed);
+       ("proto_rejects", Json.Int c.proto_rejects);
+       ("idle_closed", Json.Int c.idle_closed);
+       ("frame_errors", Json.Int c.frame_errors);
+       ("io_timeouts", Json.Int c.io_timeouts);
+       ( "tcp_port",
+         match t.tcp_bound with None -> Json.Null | Some p -> Json.Int p );
        ( "mem_budget_bytes",
          match Guard.mem_budget () with None -> Json.Null | Some b -> Json.Int b );
      ]
@@ -387,7 +466,7 @@ let process t job =
   (match (t.cfg.journal, job.jseq) with
   | Some j, Some seq -> Journal.mark_done j seq
   | _ -> ());
-  answer job.jconn response
+  answer t ?frame:job.jframe job.jconn response
 
 (* --- background lane ---------------------------------------------------- *)
 
@@ -549,7 +628,7 @@ let rec worker_main t =
 
 (* --- admission --------------------------------------------------------- *)
 
-let enqueue t conn ~id req =
+let enqueue t conn ?frame ~id req =
   (* Retained up front (outside t.lock — the locks never nest): an
      admitted job owns a ref on its connection until its response is
      written. The shed paths give the ref straight back; they run on
@@ -561,7 +640,7 @@ let enqueue t conn ~id req =
     t.c.shed <- t.c.shed + 1;
     Mutex.unlock t.lock;
     conn_release t conn;
-    answer conn
+    answer t ?frame conn
       (error_response ~id ~code:"shutting-down" ~retryable:true
          "server is draining; retry against a fresh instance")
   end
@@ -569,7 +648,7 @@ let enqueue t conn ~id req =
     t.c.shed <- t.c.shed + 1;
     Mutex.unlock t.lock;
     conn_release t conn;
-    answer conn
+    answer t ?frame conn
       (error_response ~id ~code:"overloaded" ~retryable:true
          (Printf.sprintf "queue full (%d requests); back off and retry"
             t.cfg.queue_depth))
@@ -583,7 +662,7 @@ let enqueue t conn ~id req =
     t.c.mem_shed <- t.c.mem_shed + 1;
     Mutex.unlock t.lock;
     conn_release t conn;
-    answer conn
+    answer t ?frame conn
       (error_response ~id ~code:"overloaded" ~retryable:true
          "memory pressure: heap near budget; back off and retry")
   end
@@ -592,7 +671,14 @@ let enqueue t conn ~id req =
     match t.cfg.journal with
     | None ->
         let job =
-          { jconn = conn; jid = id; jreq = req; jdeadline = request_deadline t req; jseq = None }
+          {
+            jconn = conn;
+            jid = id;
+            jreq = req;
+            jframe = frame;
+            jdeadline = request_deadline t req;
+            jseq = None;
+          }
         in
         Queue.add job t.queue;
         Condition.signal t.nonempty;
@@ -617,7 +703,7 @@ let enqueue t conn ~id req =
           Mutex.unlock t.lock;
           Journal.mark_done j seq;
           conn_release t conn;
-          answer conn
+          answer t ?frame conn
             (error_response ~id ~code:"shutting-down" ~retryable:true
                "server is draining; retry against a fresh instance")
         end
@@ -627,6 +713,7 @@ let enqueue t conn ~id req =
               jconn = conn;
               jid = id;
               jreq = req;
+              jframe = frame;
               jdeadline = request_deadline t req;
               jseq = Some seq;
             }
@@ -710,42 +797,229 @@ let submit_background t (req : Json.t) =
     end
   end
 
-let handle_line t conn line =
-  if String.trim line = "" then ()
+(* One request body (a line or a frame payload), parsed and dispatched.
+   [frame] tags the response for the NF1 transport. *)
+let handle_request t conn ?frame body =
+  if String.trim body = "" then ()
   else
-    match Json.parse line with
+    match Json.parse body with
     | Error msg ->
         locked t (fun () -> t.c.bad_requests <- t.c.bad_requests + 1);
-        answer conn (error_response ~id:Json.Null ~code:"bad-request" msg)
+        answer t ?frame conn (error_response ~id:Json.Null ~code:"bad-request" msg)
     | Ok req -> (
         let id = Option.value ~default:Json.Null (Json.member "id" req) in
         match Json.str_member "op" req with
         | Some "status" ->
             (* answered inline by the reader thread: status must work
                even when the queue is full and every worker is busy *)
-            answer conn (status_response t ~id)
-        | _ -> enqueue t conn ~id req)
+            answer t ?frame conn (status_response t ~id)
+        | _ -> enqueue t conn ?frame ~id req)
 
 (* --- connections ------------------------------------------------------- *)
 
+let hello_ack t =
+  match Frame.hello () with
+  | Json.Obj fields ->
+      Json.Obj (fields @ [ ("max_frame_bytes", Json.Int t.cfg.max_frame_bytes) ])
+  | other -> other
+
+(* One clear line, then close: the answer a client gets when it speaks
+   the wrong protocol at the TCP port — newline JSON where NF1 frames
+   are expected, or an NF1 version this build does not know. A line is
+   readable by both kinds of peer, and closing right away turns a
+   would-be hang into an actionable error. *)
+let proto_reject t conn detail =
+  locked t (fun () -> t.c.proto_rejects <- t.c.proto_rejects + 1);
+  answer t conn
+    (error_response ~id:Json.Null ~code:"proto-mismatch"
+       (Printf.sprintf
+          "%s; this port speaks the NF1 framed protocol v%d (the Unix socket \
+           speaks newline JSON)"
+          detail Frame.version))
+
+(* Drain every complete frame buffered in the decoder. The first frame
+   must be the hello (the version handshake); after that each payload
+   is an ordinary request tagged with its frame id — the pipelining
+   tag that lets responses complete out of order on one socket.
+   Returns false when the connection must close. *)
+let rec drain_frames t conn dec =
+  match Frame.next dec with
+  | Ok None -> true
+  | Ok (Some f) ->
+      if conn.greeted then begin
+        handle_request t conn ~frame:f.Frame.id f.Frame.payload;
+        drain_frames t conn dec
+      end
+      else begin
+        match Json.parse f.Frame.payload with
+        | Ok j -> (
+            match Frame.check_hello j with
+            | Ok _ ->
+                conn.greeted <- true;
+                answer t ~frame:f.Frame.id conn (hello_ack t);
+                drain_frames t conn dec
+            | Error msg ->
+                proto_reject t conn msg;
+                false)
+        | Error _ ->
+            proto_reject t conn "first frame is not an NF1 hello";
+            false
+      end
+  | Error e ->
+      (* torn, oversized, or garbage: the stream has no resync point,
+         so the error is terminal for this connection (and only it) *)
+      locked t (fun () -> t.c.frame_errors <- t.c.frame_errors + 1);
+      (if conn.greeted then
+         (* past the hello this peer speaks frames, so the terminal
+            error must be a frame too (id 0 — no request to tag it to);
+            a retrying client sees well-formed bytes then EOF, not a
+            protocol mismatch *)
+         answer t ~frame:0 conn
+           (error_response ~id:Json.Null ~code:"frame-error"
+              (Format.asprintf "%a; closing connection" Frame.pp_error e))
+       else
+         match e with
+         | Frame.Bad_version v ->
+             proto_reject t conn (Printf.sprintf "protocol version %d" v)
+         | Frame.Bad_magic -> proto_reject t conn "not an NF1 stream"
+         | e ->
+             answer t conn
+               (error_response ~id:Json.Null ~code:"frame-error"
+                  (Format.asprintf "%a; closing connection" Frame.pp_error e)));
+      false
+
+(* Feed [n] freshly read bytes through the connection's protocol state.
+   Returns false when the connection must close. *)
+let consume t conn buf n =
+  match conn.proto with
+  | P_line acc ->
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let ch = Bytes.get buf i in
+        if ch = '\n' then begin
+          let line = Buffer.contents acc in
+          Buffer.clear acc;
+          handle_request t conn line
+        end
+        else Buffer.add_char acc ch
+      done;
+      if Buffer.length acc > t.cfg.max_frame_bytes then begin
+        (* a line refusing to end is the line-mode slow-loris *)
+        locked t (fun () -> t.c.bad_requests <- t.c.bad_requests + 1);
+        answer t conn
+          (error_response ~id:Json.Null ~code:"bad-request"
+             (Printf.sprintf "request line exceeds %d bytes" t.cfg.max_frame_bytes));
+        ok := false
+      end;
+      !ok
+  | P_framed dec ->
+      Frame.feed_bytes dec buf ~off:0 ~len:n;
+      drain_frames t conn dec
+  | P_sniff acc ->
+      Buffer.add_subbytes acc buf 0 n;
+      (* Decide as early as the bytes allow: the magic is checked
+         position by position, so a legacy "{...}" client is rejected
+         on its first byte, not after 4. *)
+      let have = Buffer.length acc in
+      let magic = "NF1" in
+      let rec magic_ok i =
+        i >= min have 3 || (Buffer.nth acc i = magic.[i] && magic_ok (i + 1))
+      in
+      if not (magic_ok 0) then begin
+        proto_reject t conn "expected an NF1 frame, got something else";
+        false
+      end
+      else if have >= 4 && Buffer.nth acc 3 <> Char.chr Frame.version then begin
+        locked t (fun () -> t.c.frame_errors <- t.c.frame_errors + 1);
+        proto_reject t conn
+          (Printf.sprintf "protocol version %d" (Char.code (Buffer.nth acc 3)));
+        false
+      end
+      else if have >= 4 then begin
+        let dec = Frame.decoder ~max_payload:t.cfg.max_frame_bytes () in
+        Frame.feed dec (Buffer.contents acc) ~off:0 ~len:have;
+        conn.proto <- P_framed dec;
+        drain_frames t conn dec
+      end
+      else true
+
+let mid_input conn =
+  match conn.proto with
+  | P_line b | P_sniff b -> Buffer.length b > 0
+  | P_framed d -> Frame.mid_frame d
+
+(* The reader loop: select with a timeout derived from the two network
+   budgets, then read. [io_deadline_s] bounds how long a started frame
+   or line may stay incomplete (the slow-loris bound — a worker is
+   never involved, but the conn record and fd must not leak either);
+   [idle_timeout_s] reaps a connection with no partial input and no
+   response owed. A response in flight (pending > 0) never counts as
+   idle: the client is waiting on us, not the other way around. *)
 let serve_conn t conn =
-  let buf = Bytes.create 4096 in
-  let acc = Buffer.create 256 in
+  let buf = Bytes.create 8192 in
+  let poll = 0.2 (* re-check granularity when a budget is armed *) in
   let rec loop () =
-    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    let now = uptime_s t in
+    let io_deadline =
+      match (t.cfg.io_deadline_s, conn.in_started) with
+      | Some d, Some s -> Some (s +. d)
+      | _ -> None
+    in
+    let idle_deadline =
+      match t.cfg.idle_timeout_s with
+      | Some d when not (mid_input conn) -> Some (conn.last_rx +. d)
+      | _ -> None
+    in
+    let timeout =
+      match (io_deadline, idle_deadline) with
+      | None, None -> -1.0 (* no budgets: block until bytes or shutdown *)
+      | Some a, Some b -> Float.max 0.0 (Float.min a b -. now)
+      | Some a, None | None, Some a -> Float.max 0.0 (a -. now)
+    in
+    match Unix.select [ conn.fd ] [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     | exception (Unix.Unix_error _ | Sys_error _) -> ()
-    | 0 -> ()
-    | n ->
-        for i = 0 to n - 1 do
-          let ch = Bytes.get buf i in
-          if ch = '\n' then begin
-            let line = Buffer.contents acc in
-            Buffer.clear acc;
-            handle_line t conn line
-          end
-          else Buffer.add_char acc ch
-        done;
-        loop ()
+    | [], _, _ -> (
+        (* a budget expired (select can only time out when one was
+           armed); decide which, re-checking liveness under wlock *)
+        match (io_deadline, idle_deadline) with
+        | Some dl, _ when now +. timeout >= dl -. 0.000001 && mid_input conn ->
+            locked t (fun () -> t.c.io_timeouts <- t.c.io_timeouts + 1);
+            let resp =
+              error_response ~id:Json.Null ~code:"io-timeout"
+                "frame not completed within the I/O deadline"
+            in
+            (* a greeted framed peer must see a well-formed frame, not
+               a stray line it would decode as garbage *)
+            if conn.greeted then answer t ~frame:0 conn resp
+            else answer t conn resp
+        | _, Some dl when now +. timeout >= dl -. 0.000001 -> (
+            Mutex.lock conn.wlock;
+            let quiet = conn.pending = 0 in
+            Mutex.unlock conn.wlock;
+            match quiet with
+            | true -> locked t (fun () -> t.c.idle_closed <- t.c.idle_closed + 1)
+            | false ->
+                (* responses still owed: not idle — wait out [poll]
+                   and re-derive the budgets *)
+                (match Unix.select [ conn.fd ] [] [] poll with
+                | exception _ -> ()
+                | _ -> ());
+                loop ())
+        | _ -> loop ())
+    | _ -> (
+        match Unix.read conn.fd buf 0 (Bytes.length buf) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception (Unix.Unix_error _ | Sys_error _) -> ()
+        | 0 -> ()
+        | n ->
+            conn.last_rx <- uptime_s t;
+            let keep = consume t conn buf n in
+            conn.in_started <-
+              (if mid_input conn then
+                 match conn.in_started with None -> Some conn.last_rx | s -> s
+               else None);
+            if keep then loop ())
   in
   loop ();
   (* Reader done: release the connection as soon as the last admitted
@@ -771,6 +1045,28 @@ let listen_socket path =
   Unix.bind fd (ADDR_UNIX path);
   Unix.listen fd 64;
   fd
+
+let listen_tcp host port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     let addr =
+       if host = "" || host = "*" then Unix.inet_addr_any
+       else
+         try Unix.inet_addr_of_string host
+         with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+     in
+     Unix.bind fd (ADDR_INET (addr, port));
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, bound)
 
 (* Crash recovery: run every admitted-but-unanswered journal entry
    through the handler before the socket binds (the socket appearing
@@ -841,7 +1137,21 @@ let replay_journal t j =
    drain completes: queue empty, nothing in flight, every response
    written, workers and readers joined, socket file removed. *)
 let run_serving t =
+  (* TCP binds first, so the UDS socket file appearing — the ready
+     signal clients and the supervisor poll for — implies both
+     transports are listening. *)
+  let tcp_listener =
+    match t.cfg.tcp with
+    | None -> None
+    | Some (host, port) ->
+        let fd, bound = listen_tcp host port in
+        t.tcp_bound <- Some bound;
+        Some fd
+  in
   let listen_fd = listen_socket t.cfg.socket_path in
+  let listeners =
+    listen_fd :: (match tcp_listener with None -> [] | Some fd -> [ fd ])
+  in
   let workers = List.init t.cfg.jobs (fun _ -> Domain.spawn (fun () -> worker_main t)) in
   (* Background jobs waiting out a backoff delay (or memory pressure)
      have no event that marks them eligible again; a ticker re-offers
@@ -855,54 +1165,76 @@ let run_serving t =
         done)
       ()
   in
+  let accept_one lfd =
+    let is_tcp = Some lfd = tcp_listener in
+    match Unix.accept ~cloexec:true lfd with
+    | cfd, _ ->
+        (* The network budgets ride the socket where the kernel can
+           enforce them: SO_SNDTIMEO turns a peer that stops draining
+           responses into an EAGAIN at the writer (counted as an I/O
+           timeout) instead of a worker parked on a full buffer. *)
+        (if t.cfg.io_deadline_s <> None then
+           try
+             Unix.setsockopt_float cfd Unix.SO_SNDTIMEO
+               (Option.get t.cfg.io_deadline_s)
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+        (if is_tcp then
+           try Unix.setsockopt cfd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+        let conn =
+          {
+            fd = cfd;
+            wlock = Mutex.create ();
+            alive = true;
+            pending = 0;
+            eof = false;
+            closed = false;
+            proto =
+              (if is_tcp then P_sniff (Buffer.create 32)
+               else P_line (Buffer.create 256));
+            greeted = false;
+            last_rx = uptime_s t;
+            in_started = None;
+          }
+        in
+        (* Register under t.lock BEFORE the reader serves a
+           byte: serve_conn deregisters itself at EOF, so the
+           registration it undoes must already exist even for a
+           connection that hangs up instantly. Holding the lock
+           across Thread.create pins the order — the reader's
+           opening lock/unlock handshake cannot complete until
+           the registration below is published. *)
+        Mutex.lock t.lock;
+        let reader =
+          Thread.create
+            (fun () ->
+              Mutex.lock t.lock;
+              Mutex.unlock t.lock;
+              serve_conn t conn)
+            ()
+        in
+        t.c.connections <- t.c.connections + 1;
+        t.conns <- conn :: t.conns;
+        t.readers <- reader :: t.readers;
+        Mutex.unlock t.lock
+    | exception Unix.Unix_error (e, _, _) ->
+        (* Never let a failed accept kill a daemon with admitted
+           work: count it, back off briefly when the process is
+           out of fds, and keep serving. *)
+        if e <> Unix.EINTR then begin
+          locked t (fun () -> t.c.accept_errors <- t.c.accept_errors + 1);
+          match e with
+          | Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM ->
+              Unix.sleepf 0.05
+          | _ -> ()
+        end
+  in
   let rec accept_loop () =
     if not (stopping t) then begin
-      (match Unix.select [ listen_fd; t.stop_r ] [] [] (-1.0) with
+      (match Unix.select (t.stop_r :: listeners) [] [] (-1.0) with
       | rs, _, _ ->
-          if List.mem listen_fd rs && not (stopping t) then (
-            match Unix.accept ~cloexec:true listen_fd with
-            | cfd, _ ->
-                let conn =
-                  {
-                    fd = cfd;
-                    wlock = Mutex.create ();
-                    alive = true;
-                    pending = 0;
-                    eof = false;
-                    closed = false;
-                  }
-                in
-                (* Register under t.lock BEFORE the reader serves a
-                   byte: serve_conn deregisters itself at EOF, so the
-                   registration it undoes must already exist even for a
-                   connection that hangs up instantly. Holding the lock
-                   across Thread.create pins the order — the reader's
-                   opening lock/unlock handshake cannot complete until
-                   the registration below is published. *)
-                Mutex.lock t.lock;
-                let reader =
-                  Thread.create
-                    (fun () ->
-                      Mutex.lock t.lock;
-                      Mutex.unlock t.lock;
-                      serve_conn t conn)
-                    ()
-                in
-                t.c.connections <- t.c.connections + 1;
-                t.conns <- conn :: t.conns;
-                t.readers <- reader :: t.readers;
-                Mutex.unlock t.lock
-            | exception Unix.Unix_error (e, _, _) ->
-                (* Never let a failed accept kill a daemon with admitted
-                   work: count it, back off briefly when the process is
-                   out of fds, and keep serving. *)
-                if e <> Unix.EINTR then begin
-                  locked t (fun () -> t.c.accept_errors <- t.c.accept_errors + 1);
-                  match e with
-                  | Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM ->
-                      Unix.sleepf 0.05
-                  | _ -> ()
-                end)
+          if not (stopping t) then
+            List.iter (fun lfd -> if List.mem lfd rs then accept_one lfd) listeners
       | exception Unix.Unix_error (e, _, _) ->
           (* EINTR is routine; anything else must not hot-loop *)
           if e <> Unix.EINTR then Unix.sleepf 0.05);
@@ -910,11 +1242,11 @@ let run_serving t =
     end
   in
   accept_loop ();
-  (* Drain: no new connections (the listener is closed first, so
+  (* Drain: no new connections (the listeners are closed first, so
      connect() starts failing instead of queueing), reader threads shed
      anything they read from now on (stopping is set), workers finish
      every admitted request. *)
-  Unix.close listen_fd;
+  List.iter Unix.close listeners;
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
   Mutex.lock t.lock;
   Condition.broadcast t.nonempty;
@@ -964,20 +1296,163 @@ let run t =
    the one place that knows how to speak a request/response exchange,
    including backoff against retryable errors. *)
 module Client = struct
-  type connection = { cfd : Unix.file_descr; racc : Buffer.t }
+  type address = Uds of string | Tcp of string * int
 
-  let connect path =
-    let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-    match Unix.connect fd (ADDR_UNIX path) with
-    | () -> { cfd = fd; racc = Buffer.create 256 }
-    | exception e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        raise e
+  (* "host:port" (no slash, numeric suffix) is TCP; anything else is a
+     socket path. A bare relative path never contains ':' in practice,
+     and anything with '/' is unambiguous. *)
+  let parse_address s =
+    if String.contains s '/' then Uds s
+    else
+      match String.rindex_opt s ':' with
+      | Some i when i > 0 && i < String.length s - 1 -> (
+          let host = String.sub s 0 i in
+          let port = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 -> Tcp (host, p)
+          | _ -> Uds s)
+      | _ -> Uds s
+
+  let address_to_string = function
+    | Uds p -> p
+    | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+  exception Handshake of string
+  (* the server rejected (or garbled) the NF1 hello: a protocol
+     mismatch, not a transient — retrying the same bytes cannot help *)
+
+  type connection = {
+    cfd : Unix.file_descr;
+    racc : Buffer.t; (* line mode: read-ahead *)
+    fdec : Frame.decoder option; (* Some = NF1 framed (TCP) *)
+    mutable next_fid : int; (* pipelining tag allocator *)
+    recv_timeout_s : float option;
+  }
+
+  let framed conn = conn.fdec <> None
 
   let close conn = try Unix.close conn.cfd with Unix.Unix_error _ -> ()
 
+  (* A bounded wait for response bytes: a stalled or silent server
+     surfaces as ETIMEDOUT (retryable) instead of a client hung
+     forever on read(2). *)
+  let wait_readable conn =
+    match conn.recv_timeout_s with
+    | None -> ()
+    | Some d ->
+        let rec go () =
+          match Unix.select [ conn.cfd ] [] [] d with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | [], _, _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "recv", ""))
+          | _ -> ()
+        in
+        go ()
+
+  let read_chunk conn buf =
+    wait_readable conn;
+    let rec go () =
+      match Unix.read conn.cfd buf 0 (Bytes.length buf) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | n -> n
+    in
+    go ()
+
+  (* Read the next complete frame. [Ok None] is EOF; a decode error is
+     surfaced as such (the caller decides retryability — a CRC tear is
+     transient, a bad magic means the peer is not speaking NF1). *)
+  let recv_frame conn =
+    match conn.fdec with
+    | None -> invalid_arg "Client.recv_frame: line-mode connection"
+    | Some dec ->
+        let buf = Bytes.create 8192 in
+        let rec go () =
+          match Frame.next dec with
+          | Error e -> Error e
+          | Ok (Some f) -> Ok (Some f)
+          | Ok None -> (
+              match read_chunk conn buf with
+              | 0 -> Ok None
+              | n ->
+                  Frame.feed_bytes dec buf ~off:0 ~len:n;
+                  go ())
+        in
+        go ()
+
+  let send_frame conn ~fid payload = write_all conn.cfd (Frame.encode ~id:fid payload)
+
+  let connect_addr ?recv_timeout_s addr =
+    match addr with
+    | Uds path -> (
+        let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+        match Unix.connect fd (ADDR_UNIX path) with
+        | () ->
+            {
+              cfd = fd;
+              racc = Buffer.create 256;
+              fdec = None;
+              next_fid = 1;
+              recv_timeout_s;
+            }
+        | exception e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e)
+    | Tcp (host, port) -> (
+        let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+        match
+          let ip =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          in
+          Unix.connect fd (ADDR_INET (ip, port));
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ())
+        with
+        | () -> (
+            let conn =
+              {
+                cfd = fd;
+                racc = Buffer.create 256;
+                fdec = Some (Frame.decoder ());
+                next_fid = 1;
+                recv_timeout_s;
+              }
+            in
+            (* version handshake: hello out, hello-ack back, before any
+               request rides the connection *)
+            send_frame conn ~fid:0 (Json.to_string (Frame.hello ()));
+            match recv_frame conn with
+            | Ok (Some f) -> (
+                match Json.parse f.Frame.payload with
+                | Ok j -> (
+                    match Frame.check_hello j with
+                    | Ok _ -> conn
+                    | Error msg ->
+                        close conn;
+                        raise (Handshake msg))
+                | Error _ ->
+                    close conn;
+                    raise (Handshake "server hello is not JSON"))
+            | Ok None ->
+                close conn;
+                raise
+                  (Unix.Unix_error (Unix.ECONNRESET, "connect", "hello"))
+            | Error e ->
+                (* the peer answered the hello with a line (or worse):
+                   it does not speak NF1 at this port *)
+                close conn;
+                raise (Handshake (Format.asprintf "%a" Frame.pp_error e)))
+        | exception e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e)
+
+  let connect path = connect_addr (Uds path)
+
   let with_conn path f =
     let conn = connect path in
+    Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)
+
+  let with_addr ?recv_timeout_s addr f =
+    let conn = connect_addr ?recv_timeout_s addr in
     Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)
 
   let send_line conn line = write_all conn.cfd (line ^ "\n")
@@ -995,7 +1470,7 @@ module Client = struct
           Some (String.sub s 0 i)
       | None -> (
           let buf = Bytes.create 4096 in
-          match Unix.read conn.cfd buf 0 (Bytes.length buf) with
+          match read_chunk conn buf with
           | 0 -> None
           | n ->
               Buffer.add_subbytes conn.racc buf 0 n;
@@ -1003,44 +1478,88 @@ module Client = struct
     in
     take_line ()
 
-  (* One exchange, with the two non-exception failure modes kept
-     distinct: a connection that closed before a complete response
-     (expected when racing a draining/restarting daemon — retryable)
-     vs. a response line that did arrive but does not parse (a protocol
-     bug — fatal). Unix errors propagate to the caller. *)
-  let exchange conn (req : Json.t) =
-    send_line conn (Json.to_string req);
-    match recv_line conn with
-    | Some line -> (
-        match Json.parse line with
-        | Ok resp -> Ok resp
+  (* --- pipelining (framed connections) --------------------------------
+
+     Many requests in flight on one socket: [pipeline_send] tags each
+     with a fresh frame id, [pipeline_recv] returns responses in the
+     order the server finishes them. *)
+
+  let pipeline_send conn (req : Json.t) =
+    if not (framed conn) then
+      invalid_arg "Client.pipeline_send: line-mode connection";
+    let fid = conn.next_fid in
+    conn.next_fid <- fid + 1;
+    send_frame conn ~fid (Json.to_string req);
+    fid
+
+  let pipeline_recv conn =
+    match recv_frame conn with
+    | Ok (Some f) -> (
+        match Json.parse f.Frame.payload with
+        | Ok j -> Ok (Some (f.Frame.id, j))
         | Error msg -> Error (`Garbled msg))
-    | None -> Error `Closed
+    | Ok None -> Ok None
+    | Error e -> Error (`Frame e)
+
+  (* One exchange, with the non-exception failure modes kept distinct:
+     a connection that closed before a complete response (expected when
+     racing a draining/restarting daemon — retryable) vs. a response
+     that arrived but does not parse (a protocol bug — fatal) vs. a
+     frame-level decode error (a torn response — retryable for CRC,
+     fatal for a protocol mismatch). Unix errors propagate. *)
+  let exchange conn (req : Json.t) =
+    if framed conn then begin
+      let fid = pipeline_send conn req in
+      let rec await () =
+        match pipeline_recv conn with
+        | Ok (Some (id, resp)) when id = fid -> Ok resp
+        | Ok (Some _) -> await () (* stale tag from an abandoned request *)
+        | Ok None -> Error `Closed
+        | Error (`Garbled msg) -> Error (`Garbled msg)
+        | Error (`Frame e) -> Error (`Frame e)
+      in
+      await ()
+    end
+    else begin
+      send_line conn (Json.to_string req);
+      match recv_line conn with
+      | Some line -> (
+          match Json.parse line with
+          | Ok resp -> Ok resp
+          | Error msg -> Error (`Garbled msg))
+      | None -> Error `Closed
+    end
 
   let request conn (req : Json.t) : (Json.t, string) result =
     match exchange conn req with
     | Ok resp -> Ok resp
     | Error (`Garbled msg) -> Error msg
+    | Error (`Frame e) -> Error (Format.asprintf "%a" Frame.pp_error e)
     | Error `Closed -> Error "connection closed before a response arrived"
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
   (* One-shot request with exponential backoff + deterministic jitter.
      Retryable: connection refusals (daemon restarting), responses the
-     server marks retryable (overload shedding, drain), and a
-     connection torn down mid-exchange (EPIPE/ECONNRESET or EOF before
-     a response) — the expected outcomes of racing a daemon that is
-     draining or restarting, and safe to replay because requests are
-     idempotent: compiles are memoized, status/burn are read-only. *)
-  (* Each attempt re-resolves and re-connects the socket path from
+     server marks retryable (overload shedding, drain), a connection
+     torn down mid-exchange (EPIPE/ECONNRESET or EOF before a
+     response), a receive that outwaits [recv_timeout_s], and a
+     CRC-torn response frame — the expected outcomes of racing a
+     draining/restarting daemon or a hostile network, and safe to
+     replay because requests are idempotent: compiles are memoized,
+     status/burn are read-only. Fatal: a response that parses as
+     neither (protocol bug) and a protocol-mismatch handshake — the
+     peer will reject the same bytes forever. *)
+  (* Each attempt re-resolves and re-connects the address from
      scratch, so the retry schedule rides through a supervised daemon
      restart: the old socket's refusal/teardown is retryable, and the
-     replacement process re-binds the same path. [?max_elapsed_s]
+     replacement process re-binds the same path/port. [?max_elapsed_s]
      bounds the whole schedule so retry-through-restart cannot wait
      unboundedly (exhaustion surfaces as the usual gave-up error). *)
-  let request_retry ?(policy = Retry.default) ?sleep ?max_elapsed_s ~seed path
-      (req : Json.t) : (Json.t, string) result =
+  let request_retry ?(policy = Retry.default) ?sleep ?max_elapsed_s
+      ?recv_timeout_s ~seed path (req : Json.t) : (Json.t, string) result =
+    let addr = parse_address path in
     let attempt ~attempt:_ =
-      match with_conn path (fun conn -> exchange conn req) with
+      match with_addr ?recv_timeout_s addr (fun conn -> exchange conn req) with
       | Ok resp ->
           if
             Json.str_member "status" resp = Some "error"
@@ -1052,16 +1571,20 @@ module Client = struct
                    (Json.str_member "detail" resp)))
           else Ok resp
       | Error (`Garbled msg) -> Error (`Fatal msg)
+      | Error (`Frame Frame.Crc_mismatch) ->
+          Error (`Retryable "response frame failed its CRC")
+      | Error (`Frame e) -> Error (`Fatal (Format.asprintf "%a" Frame.pp_error e))
       | Error `Closed ->
           Error (`Retryable "connection closed before a response arrived")
       | exception
           Unix.Unix_error
             ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.ECONNRESET
-              | Unix.EPIPE ),
+              | Unix.EPIPE | Unix.ETIMEDOUT ),
               _,
               _ )
         -> Error (`Retryable "cannot connect")
       | exception Unix.Unix_error (e, _, _) -> Error (`Fatal (Unix.error_message e))
+      | exception Handshake msg -> Error (`Fatal ("protocol mismatch: " ^ msg))
     in
     match Retry.run ?sleep ?max_elapsed_s ~policy ~seed attempt with
     | Retry.Ok_after (_, resp) -> Ok resp

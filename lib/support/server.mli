@@ -1,7 +1,10 @@
-(** Compile-as-a-service transport: a Unix-domain-socket server
-    speaking newline-delimited JSON, robust by construction.
+(** Compile-as-a-service transport, robust by construction: a
+    Unix-domain socket speaking newline-delimited JSON, plus an
+    optional TCP listener speaking the {!Frame} (NF1) framed protocol
+    with per-connection pipelining — many in-flight requests tagged by
+    frame id on one socket, responses written in completion order.
 
-    The server owns everything about {e serving}: the socket, one
+    The server owns everything about {e serving}: the sockets, one
     reader thread per connection, a bounded request queue (admission
     control), [jobs] worker domains with crash supervision, per-request
     wall-clock deadlines layered on {!Guard} fuel, graceful drain, and
@@ -20,7 +23,21 @@
     "retryable": true}] (draining), [{"code": "deadline"}] (wall budget
     or fuel exhausted — the worker is freed either way),
     [{"code": "internal"}] (handler exception; the worker survives),
-    [{"code": "bad-request"}] (unparseable line). *)
+    [{"code": "bad-request"}] (unparseable line),
+    [{"code": "proto-mismatch"}] (a legacy or version-mismatched client
+    at the TCP port — one clear line, then close, counted as
+    [proto_rejects]), [{"code": "frame-error"}] (torn/oversized frame;
+    terminal for its connection only), [{"code": "io-timeout"}] (a
+    frame or line left incomplete past [io_deadline_s] — the
+    slow-loris bound).
+
+    Network failure domain: a slow-loris peer cannot wedge a reader or
+    leak a connection record ([io_deadline_s], counted [io_timeouts]);
+    a connected-but-silent client with no response owed is reaped
+    after [idle_timeout_s] (counted [idle_closed]); a peer that stops
+    draining responses trips the kernel send timeout instead of
+    parking a worker; frame decode errors close only their own
+    connection (counted [frame_errors]). *)
 
 type handler = {
   handle : Json.t -> Json.t;
@@ -35,6 +52,10 @@ type handler = {
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (** additional TCP listener ([host, port]; empty or ["*"] host
+          binds every interface, port [0] picks an ephemeral port —
+          see {!tcp_port}), speaking the NF1 framed protocol *)
   jobs : int;  (** worker domains (clamped to >= 1) *)
   queue_depth : int;  (** admission bound on queued requests *)
   default_deadline_s : float option;  (** default per-request budget *)
@@ -48,14 +69,30 @@ type config = {
   restarts : int;
       (** supervisor restart count, echoed as the ["restarts"] status
           field — informational only *)
+  idle_timeout_s : float option;
+      (** reap a connected-but-silent client (no partial input, no
+          response owed) after this long without a byte; [None]
+          disables the reaper *)
+  io_deadline_s : float option;
+      (** slow-loris bound: a frame/line that stays incomplete this
+          long closes its connection; also the kernel send-timeout for
+          response writes. [None] disables both. *)
+  max_frame_bytes : int;  (** frame payload / request line cap *)
 }
 
 val default_config : socket_path:string -> config
-(** 2 jobs, depth 64, 30s deadline, 50M fuel, no journal. *)
+(** 2 jobs, depth 64, 30s deadline, 50M fuel, no journal, no TCP, no
+    idle reaper, 10s I/O deadline, 4 MiB frames. *)
 
 type t
 
 val create : config -> handler -> t
+
+val tcp_port : t -> int option
+(** The TCP listener's bound port, available once {!run} has bound it
+    (before the UDS socket file appears — poll for the file, then read
+    this). [None] when no TCP listener is configured or not yet
+    bound. *)
 
 val run : t -> unit
 (** Serve until {!stop}. With a journal configured, first replays every
@@ -115,15 +152,39 @@ val uptime_s : t -> float
 (** Client side of the protocol — shared by [nascentc client], the
     bench service target and the tests. *)
 module Client : sig
+  type address = Uds of string | Tcp of string * int
+
+  val parse_address : string -> address
+  (** ["host:port"] (no slash, numeric suffix) is TCP; anything else is
+      a Unix socket path. *)
+
+  val address_to_string : address -> string
+
+  exception Handshake of string
+  (** The server rejected (or garbled) the NF1 hello: a protocol
+      mismatch, not a transient. *)
+
   type connection
 
   val connect : string -> connection
-  (** Connect to a socket path. Raises [Unix.Unix_error] as
-      [Unix.connect] does. *)
+  (** Connect to a Unix socket path (line protocol). Raises
+      [Unix.Unix_error] as [Unix.connect] does. *)
+
+  val connect_addr : ?recv_timeout_s:float -> address -> connection
+  (** Connect to either transport. A TCP connection performs the NF1
+      hello handshake before returning (raises {!Handshake} on a
+      protocol mismatch). [recv_timeout_s] bounds every subsequent
+      wait for response bytes: expiry raises
+      [Unix_error (ETIMEDOUT, _, _)] instead of hanging forever on a
+      stalled peer. *)
 
   val close : connection -> unit
 
   val with_conn : string -> (connection -> 'a) -> 'a
+
+  val with_addr : ?recv_timeout_s:float -> address -> (connection -> 'a) -> 'a
+
+  val framed : connection -> bool
 
   val send_line : connection -> string -> unit
 
@@ -131,25 +192,54 @@ module Client : sig
   (** One newline-terminated line ([None] on EOF); overshoot is
       buffered for the next call. *)
 
+  val pipeline_send : connection -> Json.t -> int
+  (** Framed connections only: send a request tagged with a fresh
+      frame id (returned) without waiting — many may be in flight. *)
+
+  val pipeline_recv :
+    connection ->
+    ( (int * Json.t) option,
+      [ `Garbled of string | `Frame of Frame.error ] )
+    result
+  (** The next response off a framed connection, in server completion
+      order (match it to a {!pipeline_send} tag). [Ok None] on EOF. *)
+
+  val exchange :
+    connection ->
+    Json.t ->
+    ( Json.t,
+      [ `Garbled of string | `Closed | `Frame of Frame.error ] )
+    result
+  (** One request/response exchange with the failure modes kept
+      distinct: [`Closed] (EOF before a complete response — retryable),
+      [`Garbled] (a response arrived but does not parse — a protocol
+      bug), [`Frame] (a framed response failed to decode). Unix errors
+      propagate. *)
+
   val request : connection -> Json.t -> (Json.t, string) result
-  (** One request/response exchange on an open connection. *)
+  (** {!exchange} with errors rendered as strings. *)
 
   val request_retry :
     ?policy:Retry.policy ->
     ?sleep:(float -> unit) ->
     ?max_elapsed_s:float ->
+    ?recv_timeout_s:float ->
     seed:int ->
     string ->
     Json.t ->
     (Json.t, string) result
-  (** One-shot exchange on a fresh connection, with {!Retry} backoff
-      (deterministic jitter from [seed]). Retryable: connection
-      refusals, responses marked [retryable], and a connection torn
-      down mid-exchange (EPIPE/ECONNRESET/EOF before a response) —
-      racing a draining or restarting daemon is safe because requests
-      are idempotent (compiles are memoized, status is read-only). A
-      response that arrives but fails to parse is fatal. Every attempt
-      re-resolves and re-connects the socket path, so the schedule
-      rides through a supervised restart; [?max_elapsed_s] caps the
-      total wait (see {!Retry.run}). *)
+  (** One-shot exchange on a fresh connection — the string address is
+      parsed with {!parse_address}, so both ["/path/sock"] and
+      ["host:port"] work — with {!Retry} backoff (deterministic jitter
+      from [seed]). Retryable: connection refusals, responses marked
+      [retryable], a connection torn down mid-exchange
+      (EPIPE/ECONNRESET/EOF before a response), a receive that
+      outwaits [recv_timeout_s], and a CRC-torn response frame —
+      racing a draining or restarting daemon (or a hostile network) is
+      safe because requests are idempotent (compiles are memoized,
+      status is read-only). Fatal: a response that arrives but fails
+      to parse, and a {!Handshake} protocol mismatch. Every attempt
+      re-resolves and re-connects the address, so the schedule rides
+      through a supervised restart; [?max_elapsed_s] caps the total
+      wait (see {!Retry.run}). *)
 end

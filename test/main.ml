@@ -20,4 +20,7 @@ let () =
       ("harness", Test_harness.suite);
       ("server", Test_server.suite);
       ("journal", Test_journal.suite);
+      ("frame", Test_frame.suite);
+      ("router", Test_router.suite);
+      ("transport", Test_transport.suite);
     ]

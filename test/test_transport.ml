@@ -1,0 +1,475 @@
+(* The framed TCP transport end to end: the NF1 hello handshake,
+   per-connection pipelining with out-of-order completion, protocol
+   rejection of legacy/mismatched clients, torn-frame containment, the
+   idle reaper and slow-loris I/O deadline on both transports, client
+   receive timeouts, and — the capstone — every Netfault class driven
+   through a real chaos proxy in front of a real server, with
+   request_retry recovering each time. *)
+
+module Server = Nascent_support.Server
+module Client = Server.Client
+module Frame = Nascent_support.Frame
+module Netfault = Nascent_support.Netfault
+module Json = Nascent_support.Json
+module Retry = Nascent_support.Retry
+
+let sfield = Test_server.sfield
+let ifield = Test_server.ifield
+let request_exn = Test_server.request_exn
+let status_req = Json.Obj [ ("op", Json.Str "status") ]
+
+let parse_exn s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable JSON %S: %s" s e
+
+(* every test here boots its server with a TCP listener on an
+   ephemeral port alongside the Unix socket *)
+let with_tcp ?(tune = fun c -> c) handler f =
+  Test_server.with_server
+    ~tune:(fun c -> tune { c with Server.tcp = Some ("127.0.0.1", 0) })
+    handler
+    (fun path srv ->
+      match Server.tcp_port srv with
+      | Some port -> f path srv port
+      | None -> Alcotest.fail "TCP listener reported no bound port")
+
+let ok_handler =
+  {
+    Server.handle =
+      (fun req ->
+        let tag =
+          match Json.member "tag" req with Some t -> t | None -> Json.Null
+        in
+        Json.Obj [ ("status", Json.Str "ok"); ("tag", tag) ]);
+    status_extra = (fun () -> []);
+  }
+
+(* --- raw NF1 plumbing (a hand-rolled client, for hostile sends) -------- *)
+
+let tcp_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let send_raw fd s =
+  Frame.write_all ~write:(fun b off len -> Unix.write fd b off len) s
+
+let read_one_frame fd dec =
+  Frame.read_frame ~read:(fun b off len -> Unix.read fd b off len) dec
+
+(* perform the hello handshake on a raw socket; return the decoder
+   (which may already hold buffered bytes past the ack) *)
+let raw_handshake fd =
+  send_raw fd (Frame.encode ~id:0 (Json.to_string (Frame.hello ())));
+  let dec = Frame.decoder () in
+  (match read_one_frame fd dec with
+  | Ok (Some f) -> (
+      match Frame.check_hello (parse_exn f.Frame.payload) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "bad hello ack: %s" e)
+  | Ok None -> Alcotest.fail "EOF during handshake"
+  | Error e -> Alcotest.failf "handshake decode error: %a" Frame.pp_error e);
+  dec
+
+let read_all_raw fd =
+  let buf = Bytes.create 4096 in
+  let out = Buffer.create 256 in
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 | (exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)) ->
+        Buffer.contents out
+    | n ->
+        Buffer.add_subbytes out buf 0 n;
+        go ()
+  in
+  go ()
+
+(* --- handshake + pipelining ------------------------------------------- *)
+
+let test_tcp_hello_and_request () =
+  with_tcp ok_handler (fun path _ port ->
+      let conn = Client.connect_addr (Client.Tcp ("127.0.0.1", port)) in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          Alcotest.(check bool) "connection is framed" true (Client.framed conn);
+          let resp =
+            request_exn conn (Json.Obj [ ("id", Json.Int 7); ("op", Json.Str "status") ])
+          in
+          Alcotest.(check string) "status over TCP" "ok" (sfield resp "status"));
+      (* the UDS side still speaks lines on the same server *)
+      Client.with_conn path (fun c ->
+          let resp = request_exn c status_req in
+          Alcotest.(check int) "no proto rejects from a correct client" 0
+            (ifield resp "proto_rejects")))
+
+let test_pipelining_out_of_order () =
+  let slow_fast =
+    {
+      Server.handle =
+        (fun req ->
+          (match Json.member "sleep_ms" req with
+          | Some (Json.Int ms) -> Thread.delay (float_of_int ms /. 1000.0)
+          | _ -> ());
+          Json.Obj [ ("status", Json.Str "ok") ]);
+      status_extra = (fun () -> []);
+    }
+  in
+  with_tcp slow_fast (fun _ _ port ->
+      let conn = Client.connect_addr ~recv_timeout_s:10.0 (Client.Tcp ("127.0.0.1", port)) in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let slow =
+            Client.pipeline_send conn
+              (Json.Obj [ ("id", Json.Int 1); ("sleep_ms", Json.Int 400) ])
+          in
+          let fast =
+            Client.pipeline_send conn (Json.Obj [ ("id", Json.Int 2) ])
+          in
+          let recv_tag () =
+            match Client.pipeline_recv conn with
+            | Ok (Some (fid, _)) -> fid
+            | Ok None -> Alcotest.fail "EOF mid-pipeline"
+            | Error _ -> Alcotest.fail "decode error mid-pipeline"
+          in
+          (* two workers: the fast request finishes and is written back
+             while the slow one still sleeps *)
+          Alcotest.(check int) "fast response overtakes slow" fast (recv_tag ());
+          Alcotest.(check int) "slow response still arrives" slow (recv_tag ())))
+
+(* --- protocol rejection ------------------------------------------------ *)
+
+let test_legacy_client_rejected () =
+  with_tcp ok_handler (fun path _ port ->
+      let fd = tcp_connect port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          send_raw fd (Json.to_string status_req ^ "\n");
+          let got = read_all_raw fd in
+          (* one clear line, then close *)
+          let resp = parse_exn (String.trim got) in
+          Alcotest.(check string) "proto-mismatch code" "proto-mismatch"
+            (sfield resp "code"));
+      Client.with_conn path (fun c ->
+          let resp = request_exn c status_req in
+          Alcotest.(check bool) "proto_rejects counted" true
+            (ifield resp "proto_rejects" >= 1)))
+
+let test_version_mismatch_rejected () =
+  with_tcp ok_handler (fun path _ port ->
+      let fd = tcp_connect port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let hello = Frame.encode ~id:0 (Json.to_string (Frame.hello ())) in
+          let b = Bytes.of_string hello in
+          Bytes.set b 3 '\x02' (* a future protocol version *);
+          send_raw fd (Bytes.to_string b);
+          let got = read_all_raw fd in
+          let resp = parse_exn (String.trim got) in
+          Alcotest.(check string) "proto-mismatch code" "proto-mismatch"
+            (sfield resp "code"));
+      Client.with_conn path (fun c ->
+          let resp = request_exn c status_req in
+          Alcotest.(check bool) "counted as proto reject" true
+            (ifield resp "proto_rejects" >= 1)))
+
+let test_torn_frame_after_hello () =
+  with_tcp ok_handler (fun path _ port ->
+      let fd = tcp_connect port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let dec = raw_handshake fd in
+          (* a frame whose payload byte was flipped: CRC must catch it *)
+          let torn =
+            let s = Frame.encode ~id:1 {|{"op":"status"}|} in
+            let b = Bytes.of_string s in
+            Bytes.set b Frame.header_bytes 'X';
+            Bytes.to_string b
+          in
+          send_raw fd torn;
+          (* a greeted connection gets a *framed* error before the
+             close, so a pipelining client sees a well-formed stream
+             end, not garbage *)
+          (match read_one_frame fd dec with
+          | Ok (Some f) ->
+              let resp = parse_exn f.Frame.payload in
+              Alcotest.(check string) "framed frame-error" "frame-error"
+                (sfield resp "code")
+          | Ok None -> Alcotest.fail "closed without the framed error"
+          | Error e ->
+              Alcotest.failf "server sent undecodable bytes: %a" Frame.pp_error e);
+          match read_one_frame fd dec with
+          | Ok None -> () (* EOF: the connection is terminal *)
+          | Ok (Some _) -> Alcotest.fail "connection survived a torn frame"
+          | Error e -> Alcotest.failf "garbage after error: %a" Frame.pp_error e);
+      Client.with_conn path (fun c ->
+          let resp = request_exn c status_req in
+          Alcotest.(check bool) "frame_errors counted" true
+            (ifield resp "frame_errors" >= 1)))
+
+let test_oversized_frame_rejected () =
+  with_tcp ok_handler (fun path _ port ->
+      let fd = tcp_connect port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let dec = raw_handshake fd in
+          let forged =
+            let b = Bytes.of_string (Frame.encode ~id:1 "x") in
+            Bytes.set b 12 '\x7f';
+            Bytes.set b 13 '\xff';
+            Bytes.set b 14 '\xff';
+            Bytes.set b 15 '\xff';
+            Bytes.sub_string b 0 Frame.header_bytes
+          in
+          send_raw fd forged;
+          (match read_one_frame fd dec with
+          | Ok (Some f) ->
+              Alcotest.(check string) "framed frame-error" "frame-error"
+                (sfield (parse_exn f.Frame.payload) "code")
+          | Ok None -> Alcotest.fail "closed without the framed error"
+          | Error e -> Alcotest.failf "undecodable: %a" Frame.pp_error e);
+          match read_one_frame fd dec with
+          | Ok None -> ()
+          | _ -> Alcotest.fail "connection survived an oversized header");
+      Client.with_conn path (fun c ->
+          let resp = request_exn c status_req in
+          Alcotest.(check bool) "frame_errors counted" true
+            (ifield resp "frame_errors" >= 1)))
+
+(* --- reaper and deadlines ---------------------------------------------- *)
+
+let test_idle_reaper_uds () =
+  Test_server.with_server
+    ~tune:(fun c -> { c with Server.idle_timeout_s = Some 0.2 })
+    ok_handler
+    (fun path _ ->
+      let conn = Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (* a silent connection with nothing owed is reaped *)
+          match Client.recv_line conn with
+          | None -> ()
+          | Some l -> Alcotest.failf "reaped connection produced %S" l);
+      Client.with_conn path (fun c ->
+          let resp = request_exn c status_req in
+          Alcotest.(check bool) "idle_closed counted" true
+            (ifield resp "idle_closed" >= 1)))
+
+let test_idle_reaper_tcp () =
+  with_tcp
+    ~tune:(fun c -> { c with Server.idle_timeout_s = Some 0.2 })
+    ok_handler
+    (fun path _ port ->
+      let conn = Client.connect_addr (Client.Tcp ("127.0.0.1", port)) in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (* greeted, then silent: the reaper closes it *)
+          match Client.pipeline_recv conn with
+          | Ok None -> ()
+          | Ok (Some _) -> Alcotest.fail "reaped connection produced a frame"
+          | Error e ->
+              Alcotest.failf "reaped connection garbled: %s"
+                (match e with
+                | `Frame fe -> Frame.error_name fe
+                | `Garbled s -> s));
+      Client.with_conn path (fun c ->
+          let resp = request_exn c status_req in
+          Alcotest.(check bool) "idle_closed counted" true
+            (ifield resp "idle_closed" >= 1)))
+
+let test_io_deadline_cuts_slow_loris () =
+  with_tcp
+    ~tune:(fun c -> { c with Server.io_deadline_s = Some 0.3 })
+    ok_handler
+    (fun path _ port ->
+      let fd = tcp_connect port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let dec = raw_handshake fd in
+          (* start a frame and stall: the mid-frame deadline must cut
+             us off rather than hold the reader hostage *)
+          let frame = Frame.encode ~id:1 {|{"op":"status"}|} in
+          send_raw fd (String.sub frame 0 10);
+          let rec drain () =
+            match read_one_frame fd dec with
+            | Ok (Some _) -> drain ()
+            | Ok None -> ()
+            | Error e -> Alcotest.failf "garbage at close: %a" Frame.pp_error e
+          in
+          drain ());
+      Client.with_conn path (fun c ->
+          let resp = request_exn c status_req in
+          Alcotest.(check bool) "io_timeouts counted" true
+            (ifield resp "io_timeouts" >= 1)))
+
+let test_client_recv_timeout () =
+  (* a listener that accepts and never answers: the client's receive
+     deadline must fire instead of hanging forever *)
+  let path = Test_server.fresh_socket () in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 1;
+  let accepted = ref None in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        match Unix.accept lfd with
+        | fd, _ -> accepted := Some fd
+        | exception _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with _ -> ());
+      Thread.join acceptor;
+      (match !accepted with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let conn = Client.connect_addr ~recv_timeout_s:0.3 (Client.Uds path) in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.exchange conn status_req with
+          | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> ()
+          | Ok _ -> Alcotest.fail "silent server produced a response"
+          | Error _ -> Alcotest.fail "expected ETIMEDOUT, got a protocol error"))
+
+let test_dribbled_line_response () =
+  (* a server that answers one byte at a time: the client line reader
+     must reassemble it *)
+  let path = Test_server.fresh_socket () in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 1;
+  let server =
+    Thread.create
+      (fun () ->
+        match Unix.accept lfd with
+        | exception _ -> ()
+        | fd, _ ->
+            let buf = Bytes.create 1024 in
+            let _ = Unix.read fd buf 0 (Bytes.length buf) in
+            let resp = {|{"id": 1, "status": "ok"}|} ^ "\n" in
+            String.iter
+              (fun c ->
+                ignore (Unix.write fd (Bytes.make 1 c) 0 1);
+                Thread.delay 0.002)
+              resp;
+            Unix.close fd)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with _ -> ());
+      Thread.join server;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Client.with_conn path (fun conn ->
+          let resp = request_exn conn (Json.Obj [ ("id", Json.Int 1) ]) in
+          Alcotest.(check string) "reassembled" "ok" (sfield resp "status")))
+
+(* --- chaos e2e --------------------------------------------------------- *)
+
+(* Every fault class, through a real proxy in front of a real TCP
+   server: request_retry must recover every time — the faulted
+   connection costs a retry, never an error. Deterministic in the
+   seed. *)
+let test_chaos_classes_recover () =
+  with_tcp
+    ~tune:(fun c -> { c with Server.io_deadline_s = Some 0.3 })
+    ok_handler
+    (fun _ _ port ->
+      let upstream = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      List.iter
+        (fun cls ->
+          List.iter
+            (fun seed ->
+              let spec = { Netfault.cls; seed } in
+              let stop = ref false in
+              let proxy_port = ref 0 in
+              let bound = Mutex.create () in
+              let bound_cv = Condition.create () in
+              let proxy =
+                Thread.create
+                  (fun () ->
+                    Netfault.proxy
+                      ~listen:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+                      ~upstream
+                      ~stop:(fun () -> !stop)
+                      ~delay_s:1.0
+                      ~on_listen:(fun addr ->
+                        Mutex.lock bound;
+                        (match addr with
+                        | Unix.ADDR_INET (_, p) -> proxy_port := p
+                        | _ -> ());
+                        Condition.signal bound_cv;
+                        Mutex.unlock bound)
+                      spec)
+                  ()
+              in
+              Mutex.lock bound;
+              while !proxy_port = 0 do
+                Condition.wait bound_cv bound
+              done;
+              let addr = Printf.sprintf "127.0.0.1:%d" !proxy_port in
+              Mutex.unlock bound;
+              Fun.protect
+                ~finally:(fun () ->
+                  stop := true;
+                  Thread.join proxy)
+                (fun () ->
+                  (* connection 0 is faulted for seed 0; later seeds
+                     shift the faulted residue — both paths must end Ok *)
+                  for i = 0 to 2 do
+                    match
+                      Client.request_retry ~recv_timeout_s:2.0 ~seed:i addr
+                        (Json.Obj
+                           [ ("id", Json.Int i); ("tag", Json.Int (100 + i)) ])
+                    with
+                    | Ok resp ->
+                        Alcotest.(check string)
+                          (Printf.sprintf "%s req %d recovered"
+                             (Netfault.to_string spec) i)
+                          "ok" (sfield resp "status")
+                    | Error e ->
+                        Alcotest.failf "%s req %d failed: %s"
+                          (Netfault.to_string spec) i e
+                  done))
+            [ 0; 1 ])
+        Netfault.all_classes)
+
+let suite =
+  [
+    Alcotest.test_case "TCP hello and request" `Quick test_tcp_hello_and_request;
+    Alcotest.test_case "pipelining completes out of order" `Quick
+      test_pipelining_out_of_order;
+    Alcotest.test_case "legacy line client rejected" `Quick
+      test_legacy_client_rejected;
+    Alcotest.test_case "version mismatch rejected" `Quick
+      test_version_mismatch_rejected;
+    Alcotest.test_case "torn frame answered framed, then closed" `Quick
+      test_torn_frame_after_hello;
+    Alcotest.test_case "oversized header rejected" `Quick
+      test_oversized_frame_rejected;
+    Alcotest.test_case "idle reaper on UDS" `Quick test_idle_reaper_uds;
+    Alcotest.test_case "idle reaper on TCP" `Quick test_idle_reaper_tcp;
+    Alcotest.test_case "io deadline cuts slow loris" `Quick
+      test_io_deadline_cuts_slow_loris;
+    Alcotest.test_case "client recv timeout" `Quick test_client_recv_timeout;
+    Alcotest.test_case "dribbled line response reassembled" `Quick
+      test_dribbled_line_response;
+    Alcotest.test_case "chaos classes recover through proxy" `Slow
+      test_chaos_classes_recover;
+  ]

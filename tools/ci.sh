@@ -222,3 +222,147 @@ rc=0; wait "$SUPER" || rc=$?
 trap - EXIT INT TERM
 rm -rf "$CSOCK" "$CLOG" "$CJDIR" "$BURNOUT"
 echo "chaos smoke OK: double-daemon refused, kill -9 -> restart, journal replay, kill -9 mid-upgrade -> upgrade completes, clients ride through, SIGTERM drain->0"
+
+# --- shard smoke: framed TCP, router, chaos proxy, kill -9 a shard ----
+# Three shards behind a consistent-hash router on a framed TCP port,
+# with a torn-frame chaos proxy in front. A client batch runs through
+# the proxy while one (supervised) shard is kill -9'd mid-burst: every
+# request must still exit 0 — the dead shard costs failovers and
+# retries, never a client-visible error — and the restarted shard must
+# rejoin the ring. Finally, a quick open-loop load run must emit a
+# well-formed BENCH_load.json with a zero-error chaos rung.
+
+ROOT=$(pwd)
+SBASE="${TMPDIR:-/tmp}/nascent-shard-$$"
+S0="$SBASE-s0.sock"; S1="$SBASE-s1.sock"; S2="$SBASE-s2.sock"
+RSOCK="$SBASE-router.sock"
+S1LOG="$SBASE-s1.log"; RLOG="$SBASE-router.log"; PLOG="$SBASE-proxy.log"
+BOUT="$SBASE-batch.out"
+
+sfail() {
+    echo "FAIL: $1" >&2
+    for f in "$S1LOG" "$RLOG" "$PLOG"; do
+        [ -f "$f" ] && sed "s|^|  $(basename "$f"): |" "$f" >&2
+    done
+    exit 1
+}
+
+./_build/default/bin/nascentd.exe --socket "$S0" -j 1 --shard-name s0 \
+    >/dev/null 2>&1 &
+SH0=$!
+./_build/default/bin/nascentd.exe --socket "$S1" -j 1 --shard-name s1 \
+    --supervise >"$S1LOG" 2>&1 &
+SH1=$!
+./_build/default/bin/nascentd.exe --socket "$S2" -j 1 --shard-name s2 \
+    >/dev/null 2>&1 &
+SH2=$!
+trap 'kill "$SH0" "$SH1" "$SH2" "$ROUTER" "$PROXY" 2>/dev/null || true; rm -f "$SBASE"-*' EXIT INT TERM
+ROUTER=""; PROXY=""
+
+for s in "$S0" "$S1" "$S2"; do
+    i=0
+    while [ ! -S "$s" ]; do
+        i=$((i + 1)); [ "$i" -le 100 ] || sfail "shard never bound $s"
+        sleep 0.1
+    done
+done
+
+./_build/default/bin/nascentd.exe --socket "$RSOCK" --tcp 127.0.0.1:0 \
+    --router --shard s0="$S0" --shard s1="$S1" --shard s2="$S2" \
+    --probe-interval-s 0.2 >"$RLOG" 2>&1 &
+ROUTER=$!
+i=0
+while [ ! -S "$RSOCK" ]; do
+    kill -0 "$ROUTER" 2>/dev/null || sfail "router died on startup"
+    i=$((i + 1)); [ "$i" -le 100 ] || sfail "router never bound $RSOCK"
+    sleep 0.1
+done
+
+rstatus() {
+    timeout 30 ./_build/default/bin/nascentc.exe client --connect "$RSOCK" --status
+}
+
+RPORT=$(rstatus | grep -o '"tcp_port":[0-9]*' | cut -d: -f2)
+case "$RPORT" in *[!0-9]*|"") sfail "router status reported no tcp_port" ;; esac
+
+# the chaos proxy tears one framed connection in three
+CPORT=$((20000 + $$ % 20000))
+./_build/default/bin/nascentd.exe --chaos torn-frame:1 \
+    --tcp "127.0.0.1:$CPORT" --upstream "127.0.0.1:$RPORT" >"$PLOG" 2>&1 &
+PROXY=$!
+sleep 0.3
+kill -0 "$PROXY" 2>/dev/null || sfail "chaos proxy died on startup"
+
+pclient() {
+    timeout 60 ./_build/default/bin/nascentc.exe client \
+        --connect "127.0.0.1:$CPORT" --retries 12 --max-wait-ms 40000 \
+        --recv-timeout-ms 5000 "$@"
+}
+
+# warm the path through proxy -> router -> shards
+pclient vortex >/dev/null || sfail "compile through chaos proxy exited $?, want 0"
+
+# full batch in the background; kill -9 the supervised shard mid-burst
+( rc=0
+  for bench in vortex arc2d bdna dyfesm mdg qcd spec77 trfd linpackd simple; do
+      pclient "$bench" >/dev/null 2>&1 || { rc=$?; break; }
+  done
+  echo "$rc" >"$BOUT" ) &
+BATCH=$!
+sleep 0.4
+CHILD=$(awk '/serving pid/ { pid = $(NF-1) } END { print pid }' "$S1LOG")
+case "$CHILD" in *[!0-9]*|"") sfail "could not parse s1 serving pid" ;; esac
+kill -9 "$CHILD" 2>/dev/null || sfail "s1 serving child $CHILD already gone"
+wait "$BATCH" 2>/dev/null || true
+[ -f "$BOUT" ] || sfail "client batch never finished"
+[ "$(cat "$BOUT")" = "0" ] \
+    || sfail "client batch across shard kill exited $(cat "$BOUT"), want 0"
+
+# the supervisor restarted s1 and it rejoined the ring
+S1STATUS=$(timeout 30 ./_build/default/bin/nascentc.exe client \
+    --connect "$S1" --status --retries 12 --max-wait-ms 40000) \
+    || sfail "s1 status after restart exited $?"
+echo "$S1STATUS" | grep -q '"restarts":1' \
+    || sfail "s1 status lacks \"restarts\":1: $S1STATUS"
+i=0
+until rstatus | grep -Eq '"name":"s1"[^}]*"state":"closed"'; do
+    i=$((i + 1)); [ "$i" -le 100 ] || sfail "s1 never re-admitted to the ring"
+    sleep 0.1
+done
+
+# drain everything: router and shards all exit 0 on SIGTERM
+for p in "$PROXY" "$ROUTER" "$SH0" "$SH1" "$SH2"; do
+    kill -TERM "$p" 2>/dev/null || sfail "process $p already dead at drain"
+done
+for p in "$PROXY" "$ROUTER" "$SH0" "$SH1" "$SH2"; do
+    i=0
+    while kill -0 "$p" 2>/dev/null; do
+        i=$((i + 1)); [ "$i" -le 100 ] || sfail "pid $p did not drain in 10s"
+        sleep 0.1
+    done
+    rc=0; wait "$p" || rc=$?
+    [ "$rc" -eq 0 ] || sfail "pid $p exited $rc after SIGTERM, want 0"
+done
+
+trap - EXIT INT TERM
+rm -f "$SBASE"-*
+echo "shard smoke OK: chaos proxy batch->0 errors, kill -9 shard mid-burst ridden out, supervised shard rejoined, drains->0"
+
+# --- quick open-loop load run -----------------------------------------
+# A shrunk ladder (NASCENT_LOAD_QUICK=1) in a scratch directory, so the
+# committed full-ladder BENCH_load.json is not clobbered. The bench
+# itself exits nonzero if the chaos rung sees any client error.
+
+LTMP=$(mktemp -d "${TMPDIR:-/tmp}/nascent-load-XXXXXX")
+trap 'rm -rf "$LTMP"' EXIT INT TERM
+( cd "$LTMP" && NASCENT_LOAD_QUICK=1 timeout 300 \
+      "$ROOT/_build/default/bench/main.exe" load >load.log 2>&1 ) \
+    || { sed 's/^/  bench load: /' "$LTMP/load.log" >&2
+         echo "FAIL: quick bench load exited nonzero" >&2; exit 1; }
+for key in '"one_shard"' '"three_shards"' '"chaos"' '"max_sustained_rps"'; do
+    grep -q "$key" "$LTMP/BENCH_load.json" \
+        || { echo "FAIL: BENCH_load.json lacks $key" >&2; exit 1; }
+done
+trap - EXIT INT TERM
+rm -rf "$LTMP"
+echo "load smoke OK: quick ladder + zero-error chaos rung, BENCH_load.json well-formed"
